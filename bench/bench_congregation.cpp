@@ -1,0 +1,83 @@
+// E6 — §5 / Figures 16-17 / Lemma 8: incremental congregation. Tracks the
+// monotone decay of hull diameter and perimeter under KKNPS and reports
+// rounds-to-halve-diameter as a function of n and the scheduling model.
+#include <iostream>
+#include <memory>
+
+#include "algo/kknps.hpp"
+#include "core/engine.hpp"
+#include "geometry/convex_hull.hpp"
+#include "metrics/configurations.hpp"
+#include "metrics/stats.hpp"
+#include "metrics/table.hpp"
+#include "sched/asynchronous.hpp"
+#include "sched/synchronous.hpp"
+
+using namespace cohesion;
+
+namespace {
+
+std::unique_ptr<core::Scheduler> make_scheduler(const std::string& kind, std::size_t n,
+                                                std::size_t k, std::uint64_t seed) {
+  if (kind == "SSync") {
+    sched::SSyncScheduler::Params p;
+    p.seed = seed;
+    return std::make_unique<sched::SSyncScheduler>(n, p);
+  }
+  if (kind == "k-NestA") {
+    sched::KNestAScheduler::Params p;
+    p.k = k;
+    p.seed = seed;
+    p.xi = 0.5;
+    return std::make_unique<sched::KNestAScheduler>(n, p);
+  }
+  sched::KAsyncScheduler::Params p;
+  p.k = k;
+  p.seed = seed;
+  p.xi = 0.5;
+  return std::make_unique<sched::KAsyncScheduler>(n, p);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E6 / §5 congregation — hull decay and rounds-to-halve (V = 1)\n\n";
+
+  metrics::Table table({"scheduler", "k", "n", "initial_diam", "final_diam", "rounds",
+                        "rounds_to_halve", "hull_monotone"});
+
+  for (const std::string kind : {"SSync", "k-NestA", "k-Async"}) {
+    for (const std::size_t n : {8u, 16u, 32u, 64u}) {
+      const std::size_t k = kind == "SSync" ? 1 : 2;
+      const algo::KknpsAlgorithm algo({.k = k});
+      const auto initial =
+          metrics::random_connected_configuration(n, 0.4 * std::sqrt(double(n)), 1.0, 300 + n);
+      auto sched = make_scheduler(kind, n, k, 17 + n);
+      core::EngineConfig cfg;
+      cfg.visibility.radius = 1.0;
+      cfg.seed = 55 + n;
+      core::Engine engine(initial, algo, *sched, cfg);
+      engine.run_until_converged(0.05, n * 4000);
+
+      const auto rep = metrics::analyze(engine.trace(), 1.0, 0.05);
+
+      // Hull-perimeter monotonicity along round boundaries (Lemma 8's
+      // mechanism: each epsilon-neighbourhood evacuation shortens it).
+      bool monotone = true;
+      double prev = 1e18;
+      for (const double t : engine.trace().round_boundaries()) {
+        const auto hull = geom::convex_hull(engine.trace().configuration(t));
+        const double per = geom::polygon_perimeter(hull);
+        if (per > prev + 1e-7) monotone = false;
+        prev = per;
+      }
+
+      table.add_row(kind, k, n, rep.initial_diameter, rep.final_diameter, rep.rounds,
+                    rep.rounds_to_halve, monotone ? "yes" : "NO");
+    }
+  }
+  table.print();
+  std::cout << "\nExpected shape: hull perimeter monotone in every run; rounds-to-halve\n"
+            << "grows mildly with n; convergence in every scheduling model (§5).\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// E9 — §6.1 error tolerance: sweep relative distance error delta, angle
+// skew lambda, and quadratic motion error; report convergence and cohesion
+// of the delta-aware KKNPS variant under k-Async.
+#include <iostream>
+
+#include "algo/kknps.hpp"
+#include "core/engine.hpp"
+#include "metrics/configurations.hpp"
+#include "metrics/stats.hpp"
+#include "metrics/table.hpp"
+#include "sched/asynchronous.hpp"
+
+using namespace cohesion;
+
+namespace {
+
+struct Row {
+  bool converged;
+  bool cohesive;
+  double final_diam;
+};
+
+Row run_case(double delta, double lambda, double motion, std::uint64_t seed) {
+  const std::size_t n = 12, k = 2;
+  const algo::KknpsAlgorithm algo({.k = k, .distance_delta = delta});
+  const auto initial = metrics::random_connected_configuration(n, 1.6, 1.0, seed);
+  sched::KAsyncScheduler::Params p;
+  p.k = k;
+  p.seed = seed;
+  p.xi = 0.4;
+  sched::KAsyncScheduler sched(n, p);
+  core::EngineConfig cfg;
+  cfg.visibility.radius = 1.0;
+  cfg.seed = seed;
+  cfg.error.distance_delta = delta;
+  cfg.error.skew_lambda = lambda;
+  cfg.error.motion_quad_coeff = motion;
+  core::Engine engine(initial, algo, sched, cfg);
+  const bool conv = engine.run_until_converged(0.08, 250000);
+  const auto rep = metrics::analyze(engine.trace(), 1.0, 0.08);
+  return {conv, rep.cohesive, rep.final_diameter};
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E9 / §6.1 — error-tolerance sweep (KKNPS, k = 2, n = 12, V = 1)\n\n";
+  metrics::Table table({"delta(dist)", "lambda(skew)", "motion_coeff", "converged", "cohesive",
+                        "final_diameter"});
+  const double cases[][3] = {
+      {0.00, 0.00, 0.0},  // exact
+      {0.02, 0.00, 0.0},  {0.05, 0.00, 0.0}, {0.10, 0.00, 0.0},  // distance error
+      {0.00, 0.05, 0.0},  {0.00, 0.15, 0.0}, {0.00, 0.30, 0.0},  // skew
+      {0.00, 0.00, 0.1},  {0.00, 0.00, 0.3},                     // motion error
+      {0.05, 0.10, 0.1},  {0.10, 0.20, 0.2},                     // combined
+  };
+  std::uint64_t seed = 9000;
+  for (const auto& c : cases) {
+    const Row r = run_case(c[0], c[1], c[2], seed++);
+    table.add_row(c[0], c[1], c[2], r.converged ? "yes" : "NO", r.cohesive ? "yes" : "NO",
+                  r.final_diam);
+  }
+  table.print();
+  std::cout << "\nExpected shape: convergence and cohesion for modest delta/lambda/motion\n"
+            << "error — the paper's §6.1 claims; very large errors may slow or stall\n"
+            << "convergence but must not break cohesion of the delta-aware variant.\n";
+  return 0;
+}

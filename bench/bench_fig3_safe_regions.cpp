@@ -1,0 +1,44 @@
+// E1 — Figure 3: quantitative comparison of the safe regions of Ando et
+// al., Katreniak, and KKNPS for a robot Y viewing a neighbour X at distance
+// d (V = V_Y = 1). Regenerates the figure as a table: region area, maximum
+// permitted planned move, and whether the region depends on d at all.
+#include <iostream>
+
+#include "geometry/safe_region.hpp"
+#include "metrics/table.hpp"
+
+using namespace cohesion;
+
+int main() {
+  std::cout << "E1 / Figure 3 — safe regions for motion (V = V_Y = 1)\n"
+            << "Y at origin, neighbour X at distance d along +x.\n\n";
+
+  metrics::Table table({"d", "ando_area", "ando_max_move", "katreniak_area", "katreniak_max_move",
+                        "kknps_area", "kknps_max_move(=V/4)"});
+
+  const geom::Vec2 y0{0.0, 0.0};
+  const double v = 1.0;
+  for (const double d : {0.30, 0.45, 0.55, 0.70, 0.85, 1.00}) {
+    const geom::Vec2 x0{d, 0.0};
+    const geom::Circle ando = geom::ando_safe_region(y0, x0, v);
+    const geom::KatreniakRegion kat = geom::katreniak_safe_region(y0, x0, v);
+    const geom::Circle kknps = geom::kknps_safe_region(y0, x0, v / 8.0);
+
+    // Katreniak max move: furthest point of the union from Y.
+    const double kat_move = std::max(geom::max_move_within(kat.near_disk, y0),
+                                     geom::max_move_within(kat.self_disk, y0));
+
+    table.add_row(d, ando.area(), geom::max_move_within(ando, y0), kat.area(), kat_move,
+                  kknps.area(), geom::max_move_within(kknps, y0));
+  }
+  table.print();
+
+  std::cout << "\nKey shape facts (paper §3.2.1):\n"
+            << "  * KKNPS region is independent of d (direction-only) and defined for\n"
+            << "    distant neighbours (d > V_Y/2) only; max planned move V_Y/4, and the\n"
+            << "    destination rule further caps moves at V_Y/8.\n"
+            << "  * Ando's disk always reaches the midpoint of Y and X; max move grows\n"
+            << "    with d up to V.\n"
+            << "  * Katreniak's union shrinks as d -> V_Y (self-disk radius (V_Y-d)/4).\n";
+  return 0;
+}

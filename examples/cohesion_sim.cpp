@@ -1,0 +1,208 @@
+// cohesion_sim — the general-purpose command-line simulator.
+//
+// A downstream user's entry point: pick an algorithm, a scheduler, an
+// initial configuration and error parameters; get convergence statistics,
+// an optional CSV trace and an optional SVG rendering.
+//
+//   cohesion_sim --algo kknps --k 2 --sched kasync --n 24 --config random
+//                --delta 0.05 --skew 0.1 --xi 0.5 --eps 0.05
+//                --svg run.svg --trace run.csv        (one command line)
+//
+// Run with --help for the full flag list.
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "algo/baselines.hpp"
+#include "algo/kknps.hpp"
+#include "core/engine.hpp"
+#include "core/trace_io.hpp"
+#include "metrics/configurations.hpp"
+#include "metrics/stats.hpp"
+#include "metrics/svg.hpp"
+#include "sched/asynchronous.hpp"
+#include "sched/synchronous.hpp"
+
+using namespace cohesion;
+
+namespace {
+
+struct Options {
+  std::string algo = "kknps";
+  std::string sched = "kasync";
+  std::string config = "random";
+  std::size_t n = 16;
+  std::size_t k = 1;
+  double v = 1.0;
+  double delta = 0.0;
+  double skew = 0.0;
+  double motion = 0.0;
+  double xi = 1.0;
+  double eps = 0.05;
+  double spacing = 0.9;
+  std::size_t max_activations = 500000;
+  std::uint64_t seed = 1;
+  std::string svg_path;
+  std::string trace_path;
+  bool reflection = false;
+};
+
+void usage() {
+  std::cout <<
+      "cohesion_sim — OBLOT point-convergence simulator\n\n"
+      "  --algo   kknps | ando | katreniak | cog | gcm | null    (default kknps)\n"
+      "  --sched  fsync | ssync | knesta | kasync | async        (default kasync)\n"
+      "  --config random | line | grid | ring | clusters | spiral (default random)\n"
+      "  --n      robot count (default 16)\n"
+      "  --k      asynchrony bound for kasync/knesta + kknps scaling (default 1)\n"
+      "  --v      visibility radius (default 1)\n"
+      "  --delta  relative distance-error bound (default 0)\n"
+      "  --skew   angle-distortion skew lambda (default 0)\n"
+      "  --motion quadratic motion-error coefficient (default 0)\n"
+      "  --xi     minimum realized move fraction, (0,1] (default 1 = rigid)\n"
+      "  --eps    convergence diameter (default 0.05)\n"
+      "  --spacing initial spacing for line/grid/ring (default 0.9)\n"
+      "  --max    activation budget (default 500000)\n"
+      "  --seed   RNG seed (default 1)\n"
+      "  --svg    write an SVG rendering of the run to this path\n"
+      "  --trace  write the full activation trace as CSV to this path\n"
+      "  --reflection  allow mirrored local frames (no chirality)\n";
+}
+
+bool parse(int argc, char** argv, Options& opt) {
+  std::map<std::string, std::string> kv;
+  for (int i = 1; i < argc; ++i) {
+    const std::string key = argv[i];
+    if (key == "--help" || key == "-h") return false;
+    if (key == "--reflection") {
+      opt.reflection = true;
+      continue;
+    }
+    if (i + 1 >= argc || key.rfind("--", 0) != 0) {
+      std::cerr << "bad argument: " << key << "\n";
+      return false;
+    }
+    kv[key.substr(2)] = argv[++i];
+  }
+  auto get = [&](const char* name, auto& out) {
+    const auto it = kv.find(name);
+    if (it == kv.end()) return;
+    std::istringstream ss(it->second);
+    ss >> out;
+  };
+  get("algo", opt.algo);
+  get("sched", opt.sched);
+  get("config", opt.config);
+  get("n", opt.n);
+  get("k", opt.k);
+  get("v", opt.v);
+  get("delta", opt.delta);
+  get("skew", opt.skew);
+  get("motion", opt.motion);
+  get("xi", opt.xi);
+  get("eps", opt.eps);
+  get("spacing", opt.spacing);
+  get("max", opt.max_activations);
+  get("seed", opt.seed);
+  get("svg", opt.svg_path);
+  get("trace", opt.trace_path);
+  return true;
+}
+
+std::vector<geom::Vec2> make_configuration(const Options& opt) {
+  if (opt.config == "line") return metrics::line_configuration(opt.n, opt.spacing * opt.v);
+  if (opt.config == "grid") return metrics::grid_configuration(opt.n, opt.spacing * opt.v);
+  if (opt.config == "ring") {
+    return metrics::regular_polygon_configuration(opt.n, opt.spacing * opt.v);
+  }
+  if (opt.config == "clusters") {
+    return metrics::two_cluster_configuration(opt.n, 3, opt.v, opt.seed);
+  }
+  if (opt.config == "spiral") return metrics::spiral_configuration(0.3, 0.92 * opt.v).positions;
+  return metrics::random_connected_configuration(
+      opt.n, 0.4 * opt.v * std::sqrt(static_cast<double>(opt.n)), opt.v, opt.seed);
+}
+
+std::unique_ptr<core::Algorithm> make_algorithm(const Options& opt) {
+  if (opt.algo == "ando") return std::make_unique<algo::AndoAlgorithm>(opt.v);
+  if (opt.algo == "katreniak") return std::make_unique<algo::KatreniakAlgorithm>();
+  if (opt.algo == "cog") return std::make_unique<algo::CogAlgorithm>();
+  if (opt.algo == "gcm") return std::make_unique<algo::GcmAlgorithm>();
+  if (opt.algo == "null") return std::make_unique<algo::NullAlgorithm>();
+  return std::make_unique<algo::KknpsAlgorithm>(
+      algo::KknpsAlgorithm::Params{.k = opt.k, .distance_delta = opt.delta});
+}
+
+std::unique_ptr<core::Scheduler> make_scheduler(const Options& opt) {
+  if (opt.sched == "fsync") return std::make_unique<sched::FSyncScheduler>(opt.n);
+  if (opt.sched == "ssync") {
+    sched::SSyncScheduler::Params p;
+    p.seed = opt.seed;
+    p.xi = opt.xi;
+    return std::make_unique<sched::SSyncScheduler>(opt.n, p);
+  }
+  if (opt.sched == "knesta") {
+    sched::KNestAScheduler::Params p;
+    p.k = opt.k;
+    p.seed = opt.seed;
+    p.xi = opt.xi;
+    return std::make_unique<sched::KNestAScheduler>(opt.n, p);
+  }
+  sched::KAsyncScheduler::Params p;
+  p.k = opt.sched == "async" ? static_cast<std::size_t>(-1) : opt.k;
+  p.seed = opt.seed;
+  p.xi = opt.xi;
+  return std::make_unique<sched::KAsyncScheduler>(opt.n, p);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, opt)) {
+    usage();
+    return 2;
+  }
+
+  const auto initial = make_configuration(opt);
+  opt.n = initial.size();  // spiral/clusters may adjust n
+  const auto algorithm = make_algorithm(opt);
+  const auto scheduler = make_scheduler(opt);
+
+  core::EngineConfig cfg;
+  cfg.visibility.radius = opt.v;
+  cfg.error.distance_delta = opt.delta;
+  cfg.error.skew_lambda = opt.skew;
+  cfg.error.motion_quad_coeff = opt.motion;
+  cfg.error.allow_reflection = opt.reflection;
+  cfg.seed = opt.seed;
+
+  core::Engine engine(initial, *algorithm, *scheduler, cfg);
+  const bool converged = engine.run_until_converged(opt.eps, opt.max_activations);
+  const auto report = metrics::analyze(engine.trace(), opt.v, opt.eps);
+
+  std::cout << "algorithm:         " << algorithm->name() << "\n"
+            << "scheduler:         " << scheduler->name() << " (k=" << opt.k << ")\n"
+            << "robots:            " << opt.n << "\n"
+            << "converged:         " << (converged ? "yes" : "no") << "\n"
+            << "initial diameter:  " << report.initial_diameter << "\n"
+            << "final diameter:    " << report.final_diameter << "\n"
+            << "rounds:            " << report.rounds << "\n"
+            << "rounds to halve:   " << report.rounds_to_halve << "\n"
+            << "activations:       " << report.activations << "\n"
+            << "cohesive:          " << (report.cohesive ? "yes" : "NO") << "\n"
+            << "worst stretch / V: " << report.worst_stretch << "\n";
+
+  if (!opt.svg_path.empty()) {
+    metrics::write_svg(opt.svg_path, metrics::render_trace(engine.trace(), opt.v));
+    std::cout << "svg written:       " << opt.svg_path << "\n";
+  }
+  if (!opt.trace_path.empty()) {
+    core::write_trace_csv(engine.trace(), opt.trace_path);
+    std::cout << "trace written:     " << opt.trace_path << "\n";
+  }
+  return converged ? 0 : 1;
+}

@@ -1,0 +1,42 @@
+// Domain scenario: the limits of asynchrony.
+//
+// Runs the Section-7 impossibility construction end to end: a discrete
+// spiral of robots at the visibility threshold, an adversarial scheduler
+// with unbounded nesting that flattens the spiral sliver by sliver while
+// one robot's stale move is pending, and the final snap that separates the
+// configuration into two linearly separable components.
+#include <iostream>
+
+#include "adversary/spiral.hpp"
+#include "metrics/configurations.hpp"
+
+int main() {
+  using namespace cohesion;
+
+  const double psi = 0.30;
+  const double edge_scale = 0.92;
+
+  const auto cfg = metrics::spiral_configuration(psi, edge_scale);
+  std::cout << "spiral: psi = " << psi << ", " << cfg.positions.size()
+            << " robots, chord sweep = " << cfg.total_chord_angle << " rad (target 3*pi/8 = "
+            << 3.0 * 3.14159265358979 / 8.0 << ")\n";
+
+  const auto r = adversary::run_spiral_experiment(psi, edge_scale);
+
+  std::cout << "initially connected:        " << (r.initially_connected ? "yes" : "no") << "\n"
+            << "activations (total):        " << r.activations << "\n"
+            << "nested inside X_A interval: " << r.nesting_depth << "\n"
+            << "schedule certified NestA:   " << (r.schedule_nested ? "yes" : "no") << "\n"
+            << "X_A forced move (zeta):     " << r.zeta << "\n"
+            << "max chain drift |d(X_j,A)|: " << r.max_chain_drift << "  (paper bound O(psi^2) = "
+            << 4.0 * psi * psi << ")\n"
+            << "final |X_A X_B|:            " << r.final_separation_ab << "  (V = 1)\n"
+            << "visibility broken:          " << (r.visibility_broken ? "YES" : "no") << "\n"
+            << "finally connected:          " << (r.finally_connected ? "yes" : "NO") << "\n";
+
+  std::cout << "\nThe same construction cannot be carried out under k-Async for any\n"
+               "fixed k: the adversary needed " << r.nesting_depth
+            << " activations nested inside one interval,\nwhile k-Async caps that at k. "
+               "This is the paper's separation between\nbounded and unbounded asynchrony.\n";
+  return r.visibility_broken && !r.finally_connected ? 0 : 1;
+}

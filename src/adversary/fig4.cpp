@@ -1,0 +1,136 @@
+#include "adversary/fig4.hpp"
+
+#include <cmath>
+#include <random>
+
+#include "algo/baselines.hpp"
+#include "algo/kknps.hpp"
+#include "core/engine.hpp"
+#include "core/validators.hpp"
+#include "geometry/angles.hpp"
+#include "sched/asynchronous.hpp"
+
+namespace cohesion::adversary {
+
+using core::Activation;
+using geom::Vec2;
+
+std::vector<Activation> fig4_timeline(Fig4Variant variant) {
+  // Robots X (index 3) and Y (index 4). Long Compute phases realize the
+  // stale snapshots: Y looks early but moves last.
+  std::vector<Activation> acts;
+  auto act = [](core::RobotId r, double look, double ms, double me) {
+    Activation a;
+    a.robot = r;
+    a.t_look = look;
+    a.t_move_start = ms;
+    a.t_move_end = me;
+    a.realized_fraction = 1.0;  // rigid, per the paper's Fig. 4 discussion
+    return a;
+  };
+  if (variant == Fig4Variant::kOneAsync) {
+    // X: [0.0, 1.0], Y: [0.5, 5.1] (crossing), X again: [1.5, 2.0] inside
+    // Y's interval. One Look of each within any interval of the other.
+    acts.push_back(act(kFig4X, 0.0, 0.9, 1.0));
+    acts.push_back(act(kFig4Y, 0.5, 5.0, 5.1));
+    acts.push_back(act(kFig4X, 1.5, 1.9, 2.0));
+  } else {
+    // Y: [0.4, 6.0] with both X activations nested inside: 2-NestA.
+    acts.push_back(act(kFig4Y, 0.4, 5.0, 6.0));
+    acts.push_back(act(kFig4X, 0.5, 0.9, 1.0));
+    acts.push_back(act(kFig4X, 1.5, 1.9, 2.0));
+  }
+  return acts;
+}
+
+double run_fig4_scenario(const std::vector<Vec2>& initial, Fig4Variant variant,
+                         const core::Algorithm& algorithm) {
+  sched::ScriptedScheduler scheduler(fig4_timeline(variant));
+  core::EngineConfig config;
+  config.visibility.radius = 1.0;
+  config.error = {};  // exact perception; rigid motion comes from the script
+  config.error.random_rotation = false;
+  core::Engine engine(initial, algorithm, scheduler, config);
+  engine.run(100);
+  const auto final_cfg = engine.current_configuration();
+  return final_cfg[kFig4X].distance_to(final_cfg[kFig4Y]);
+}
+
+Fig4Result find_fig4_counterexample(Fig4Variant variant, std::size_t max_trials,
+                                    std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+
+  const algo::AndoAlgorithm ando(/*v=*/1.0);
+  Fig4Result best;
+  best.final_separation = 0.0;
+
+  std::uniform_real_distribution<double> full_angle(-geom::kPi, geom::kPi);
+  const std::size_t random_trials = max_trials > 4000 ? max_trials - 4000 : max_trials;
+
+  for (std::size_t trial = 0; trial < random_trials; ++trial) {
+    // Family around the paper's figure: X0 at the origin; Y0 near the
+    // visibility threshold; A is Y's "puller" (shapes Y's SEC goal), B and C
+    // are X's pullers; all directions free — the separating geometry sends
+    // X and Y on roughly perpendicular, opposed detours.
+    const double d_xy = 0.80 + 0.199 * u01(rng);
+    const Vec2 x0{0.0, 0.0};
+    const Vec2 y0 = geom::unit(geom::kPi + 0.4 * (u01(rng) - 0.5)) * d_xy;
+    const Vec2 b = geom::unit(full_angle(rng)) * (0.5 + 0.499 * u01(rng));
+    const Vec2 c = geom::unit(full_angle(rng)) * (0.5 + 0.499 * u01(rng));
+    const Vec2 a = y0 + geom::unit(full_angle(rng)) * (0.5 + 0.499 * u01(rng));
+    const std::vector<Vec2> initial{a, b, c, x0, y0};
+
+    const double sep = run_fig4_scenario(initial, variant, ando);
+    if (sep > best.final_separation) {
+      best.final_separation = sep;
+      best.initial = initial;
+      best.trials_used = trial + 1;
+      if (sep > 1.02) break;  // comfortably separated; stop sampling
+    }
+  }
+
+  // Local refinement: jitter the best placement, keep improvements.
+  if (!best.initial.empty()) {
+    std::normal_distribution<double> jitter(0.0, 0.02);
+    std::vector<Vec2> current = best.initial;
+    for (std::size_t it = 0; it < 4000 && best.final_separation <= 1.05; ++it) {
+      std::vector<Vec2> cand = current;
+      for (const std::size_t idx : {kFig4A, kFig4B, kFig4C, kFig4Y}) {
+        cand[idx] += Vec2{jitter(rng), jitter(rng)};
+      }
+      const double sep = run_fig4_scenario(cand, variant, ando);
+      if (sep > best.final_separation) {
+        best.final_separation = sep;
+        best.initial = cand;
+        current = cand;
+        ++best.trials_used;
+      }
+    }
+  }
+
+  best.ando_separates = best.final_separation > 1.0 + 1e-9;
+
+  if (!best.initial.empty()) {
+    // Control: the same timeline with KKNPS (k matching the variant).
+    const std::size_t k = variant == Fig4Variant::kOneAsync ? 1 : 2;
+    const algo::KknpsAlgorithm kknps({.k = k});
+    best.kknps_separation = run_fig4_scenario(best.initial, variant, kknps);
+    best.kknps_separates = best.kknps_separation > 1.0 + 1e-9;
+
+    // Certify the timeline really is in the claimed scheduling model.
+    sched::ScriptedScheduler scheduler(fig4_timeline(variant));
+    core::EngineConfig config;
+    config.visibility.radius = 1.0;
+    config.error.random_rotation = false;
+    core::Engine engine(best.initial, ando, scheduler, config);
+    engine.run(100);
+    const core::Trace& trace = engine.trace();
+    best.schedule_valid = variant == Fig4Variant::kOneAsync
+                              ? core::is_k_async(trace, 1)
+                              : core::is_k_nesta(trace, 2);
+  }
+  return best;
+}
+
+}  // namespace cohesion::adversary

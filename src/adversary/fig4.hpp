@@ -1,0 +1,49 @@
+// The Figure-4 counterexample: unmodified Ando Go-To-Centre-Of-SEC loses
+// visibility under 1-Async (a) and 2-NestA (b) scheduling.
+//
+// Five robots: A, B, C stationary (never activated); X is activated twice,
+// Y once. The timelines make every Look of X see Y still at Y0 and the Look
+// of Y see X still at X0 (Y's Move is scheduled after X's moves complete) —
+// the stale-snapshot mechanism of the paper's Fig. 4. The paper gives the
+// construction qualitatively; we search a seeded random family of
+// placements for one where the final separation |X2 Y1| exceeds V, then
+// certify the schedule with the trace validators.
+#pragma once
+
+#include <vector>
+
+#include "core/activation.hpp"
+#include "core/algorithm.hpp"
+#include "geometry/vec2.hpp"
+
+namespace cohesion::adversary {
+
+enum class Fig4Variant { kOneAsync, kTwoNestA };
+
+struct Fig4Result {
+  std::vector<geom::Vec2> initial;   ///< [A, B, C, X0, Y0]
+  double final_separation = 0.0;     ///< |X2 Y1| under Ando, units of V
+  double kknps_separation = 0.0;     ///< same timeline under KKNPS
+  bool ando_separates = false;       ///< final_separation > V
+  bool kknps_separates = false;      ///< should always be false
+  bool schedule_valid = false;       ///< validator certified the model
+  std::size_t trials_used = 0;
+};
+
+/// Index constants into Fig4Result::initial.
+inline constexpr std::size_t kFig4A = 0, kFig4B = 1, kFig4C = 2, kFig4X = 3, kFig4Y = 4;
+
+/// The scripted activation timeline for the variant (V-independent).
+std::vector<core::Activation> fig4_timeline(Fig4Variant variant);
+
+/// Search up to `max_trials` seeded placements for a separating
+/// configuration; returns the best found (ando_separates tells success).
+Fig4Result find_fig4_counterexample(Fig4Variant variant, std::size_t max_trials = 200000,
+                                    std::uint64_t seed = 42);
+
+/// Run the given initial placement through the variant's timeline with the
+/// given algorithm; returns final |XY| separation (V = 1).
+double run_fig4_scenario(const std::vector<geom::Vec2>& initial, Fig4Variant variant,
+                         const core::Algorithm& algorithm);
+
+}  // namespace cohesion::adversary

@@ -1,0 +1,75 @@
+// A greedy adversarial scheduler: at every step it evaluates, with one-step
+// lookahead, which robot's activation (and which xi-rigid truncation)
+// maximizes the worst separation among initially visible pairs — then
+// schedules exactly that, subject to the k-Async bound.
+//
+// This is a much stronger adversary than the randomized schedulers: it
+// plays the stale-snapshot game deliberately (long Move intervals create
+// windows in which others act on outdated positions). Against Ando it finds
+// separations quickly; against KKNPS with matching 1/k scaling it must fail
+// (Theorem 4), which makes it a sharp empirical probe of the theorem.
+//
+// The adversary is omniscient (it knows the control algorithm and exact
+// positions), which the paper's scheduler model permits.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/algorithm.hpp"
+#include "core/scheduler.hpp"
+#include "geometry/vec2.hpp"
+
+namespace cohesion::adversary {
+
+class GreedyStretchScheduler final : public core::Scheduler {
+ public:
+  struct Params {
+    std::size_t k = 1;            ///< k-Async bound to respect (SIZE_MAX = none)
+    double visibility = 1.0;      ///< V (the adversary knows it)
+    double move_duration = 4.0;   ///< long moves maximize stale windows
+    double xi = 0.5;              ///< adversary may truncate to this fraction
+    std::size_t fairness_every = 16;  ///< force round-robin every N picks
+  };
+
+  /// `algorithm` is the controller under attack; `initial` the starting
+  /// configuration (used to fix the set of initially visible pairs).
+  GreedyStretchScheduler(const core::Algorithm& algorithm, std::vector<geom::Vec2> initial,
+                         Params params);
+
+  std::optional<core::Activation> next(const core::SimulationView& view) override;
+  [[nodiscard]] std::string_view name() const override { return "greedy-stretch"; }
+
+ private:
+  struct Candidate {
+    core::RobotId robot;
+    double look;
+    double fraction;
+    double score;
+  };
+
+  /// Exact honest snapshot the robot would take at time t, from the view.
+  [[nodiscard]] core::Snapshot snapshot_at(const core::SimulationView& view,
+                                           core::RobotId robot, double t) const;
+  /// Worst separation among initially visible pairs if `robot` realizes
+  /// `fraction` of its computed move, all others resting at their committed
+  /// endpoints.
+  [[nodiscard]] double score_candidate(const core::SimulationView& view, core::RobotId robot,
+                                       double look, double fraction) const;
+
+  const core::Algorithm& algorithm_;
+  std::vector<geom::Vec2> initial_;
+  std::vector<std::pair<std::size_t, std::size_t>> watched_pairs_;
+  Params params_;
+  std::size_t n_;
+  std::size_t picks_ = 0;
+
+  struct OpenInterval {
+    core::RobotId robot;
+    double start, end;
+    std::vector<std::size_t> looks_inside;
+  };
+  std::vector<OpenInterval> open_;
+};
+
+}  // namespace cohesion::adversary

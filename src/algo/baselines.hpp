@@ -1,0 +1,57 @@
+// Baseline algorithms the paper reviews (§1.2, §3.1).
+//
+//  * AndoAlgorithm      — Go_To_The_Centre_Of_The_SEC, Ando et al. [2].
+//                         Assumes the visibility radius V is known; correct
+//                         in SSync, provably incorrect in 1-Async (Fig. 4).
+//  * KatreniakAlgorithm — Katreniak [25]; V unknown, two-disk safe regions;
+//                         correct in 1-Async, fails for large k in k-Async.
+//  * CogAlgorithm       — Go_To_The_Centre_Of_Gravity, Cohen & Peleg [14];
+//                         O(n^2) rounds, unlimited-visibility setting.
+//  * GcmAlgorithm       — Go_To_The_Center_Of_Minbox [16]; Theta(n) rounds,
+//                         unlimited-visibility setting.
+//  * NullAlgorithm      — never moves (control).
+#pragma once
+
+#include "core/algorithm.hpp"
+
+namespace cohesion::algo {
+
+class AndoAlgorithm final : public core::Algorithm {
+ public:
+  /// `v` is the common visibility radius, known to the algorithm. If
+  /// `v <= 0`, the distance to the furthest visible neighbour is used
+  /// instead (the weakened assumption in the paper's footnote 9).
+  explicit AndoAlgorithm(double v) : v_(v) {}
+
+  [[nodiscard]] geom::Vec2 compute(const core::Snapshot& snapshot) const override;
+  [[nodiscard]] std::string_view name() const override { return "Ando-SEC"; }
+
+ private:
+  double v_;
+};
+
+class KatreniakAlgorithm final : public core::Algorithm {
+ public:
+  [[nodiscard]] geom::Vec2 compute(const core::Snapshot& snapshot) const override;
+  [[nodiscard]] std::string_view name() const override { return "Katreniak"; }
+};
+
+class CogAlgorithm final : public core::Algorithm {
+ public:
+  [[nodiscard]] geom::Vec2 compute(const core::Snapshot& snapshot) const override;
+  [[nodiscard]] std::string_view name() const override { return "CoG"; }
+};
+
+class GcmAlgorithm final : public core::Algorithm {
+ public:
+  [[nodiscard]] geom::Vec2 compute(const core::Snapshot& snapshot) const override;
+  [[nodiscard]] std::string_view name() const override { return "GCM"; }
+};
+
+class NullAlgorithm final : public core::Algorithm {
+ public:
+  [[nodiscard]] geom::Vec2 compute(const core::Snapshot&) const override { return {0.0, 0.0}; }
+  [[nodiscard]] std::string_view name() const override { return "Null"; }
+};
+
+}  // namespace cohesion::algo

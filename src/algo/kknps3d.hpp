@@ -1,0 +1,59 @@
+// Three-dimensional generalization of the KKNPS algorithm (paper §6.3.2).
+//
+// Safe regions generalize verbatim: for a distant neighbour X of robot Y,
+// the region is the ball of radius r = V_Y/(8k) centred at distance r from
+// Y in the direction of X. The destination rule is the natural analogue of
+// the planar one:
+//   * if no open half-space through Y contains all distant neighbours
+//     (equivalently, the origin lies in the convex hull of the unit
+//     direction vectors), stay put — the safe balls intersect only at Y;
+//   * otherwise let w be the minimum-norm point of that convex hull
+//     (computed by Frank-Wolfe); w/|w| is a half-space witness with
+//     w_hat . u_i >= |w| > 0 for every direction u_i, and the point
+//     t * w_hat with t = min_i 2 r (w_hat . u_i) lies in every safe ball
+//     (|t w_hat - r u|^2 <= r^2 iff t <= 2 r (w_hat . u)). We move to the
+//     midpoint t/2 of that chord, which is interior to every ball and caps
+//     the move at r <= V_Y/(8k), mirroring the planar V/8 cap.
+//
+// The paper leaves the full 3D correctness details to future work; this
+// module provides the implementation plus the synchronous simulator used
+// by the tests to check convergence and cohesion empirically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/vec3.hpp"
+
+namespace cohesion::algo {
+
+struct Kknps3dParams {
+  std::size_t k = 1;
+  /// Hull distance below which the direction set is treated as surrounding
+  /// the robot (stay-put).
+  double hull_tolerance = 1e-9;
+};
+
+/// Destination (relative to the robot at the origin) given perceived
+/// neighbour offsets.
+geom::Vec3 kknps3d_destination(const std::vector<geom::Vec3>& neighbours,
+                               const Kknps3dParams& params = {});
+
+/// Minimum-norm point of the convex hull of `points` via Frank-Wolfe.
+/// Exposed for testing.
+geom::Vec3 min_norm_point_in_hull(const std::vector<geom::Vec3>& points, int iterations = 256);
+
+/// Minimal synchronous simulator in R^3 (FSync/SSync rounds) for the tests
+/// and the 3D example: returns final positions after `rounds` rounds; in
+/// each round every robot (or a seeded random subset if `ssync`) performs a
+/// full Look-Compute-Move with exact perception.
+struct Sim3dResult {
+  std::vector<geom::Vec3> final_positions;
+  double final_diameter = 0.0;
+  double worst_initial_stretch = 0.0;  ///< over initially visible pairs, / V
+};
+
+Sim3dResult simulate_kknps3d(std::vector<geom::Vec3> positions, double v, std::size_t k,
+                             std::size_t rounds, bool ssync = false, std::uint64_t seed = 1);
+
+}  // namespace cohesion::algo

@@ -1,0 +1,37 @@
+// A natural cohesive, error-tolerant algorithm used as the victim of the
+// Section-7 impossibility construction.
+//
+// With exactly two neighbours P and R perceived at (close to) the visibility
+// threshold and a perceived interior angle less than pi - tolerance, the
+// robot moves to its projection onto the line PR — the point of
+// co-linearity inside the lens of the two unit disks (paper §7.2.2,
+// Fig. 21). With any other neighbourhood it stays put. The paper's argument
+// shows any error-tolerant algorithm is *forced* to make such moves; this
+// class makes the forced behaviour concrete so the adversary in
+// src/adversary can drive it.
+#pragma once
+
+#include "core/algorithm.hpp"
+
+namespace cohesion::algo {
+
+class LensMidpointAlgorithm final : public core::Algorithm {
+ public:
+  struct Params {
+    /// "Essential co-linearity" tolerance: if the interior angle at the
+    /// robot is within `colinearity_tolerance` of pi, it does not move
+    /// (paper §7.2: angle in (pi - psi/2n, pi]).
+    double colinearity_tolerance = 1e-4;
+  };
+
+  LensMidpointAlgorithm() : LensMidpointAlgorithm(Params{}) {}
+  explicit LensMidpointAlgorithm(Params params) : params_(params) {}
+
+  [[nodiscard]] geom::Vec2 compute(const core::Snapshot& snapshot) const override;
+  [[nodiscard]] std::string_view name() const override { return "LensMidpoint"; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace cohesion::algo

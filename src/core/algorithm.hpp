@@ -1,0 +1,29 @@
+// The robot control algorithm interface (the paper's built-in algorithm A).
+//
+// OBLOT robots are oblivious and identical: compute() is a pure function of
+// the current snapshot; one shared, stateless instance controls every robot.
+#pragma once
+
+#include <string_view>
+
+#include "core/snapshot.hpp"
+#include "geometry/vec2.hpp"
+
+namespace cohesion::core {
+
+class Algorithm {
+ public:
+  virtual ~Algorithm() = default;
+
+  /// Compute the intended destination, expressed in the same local frame as
+  /// the snapshot (the robot itself is at the origin). Returning {0,0} is
+  /// the nil movement.
+  ///
+  /// Must be deterministic and must not retain state across calls
+  /// (obliviousness); implementations are const for this reason.
+  [[nodiscard]] virtual geom::Vec2 compute(const Snapshot& snapshot) const = 0;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+}  // namespace cohesion::core

@@ -1,0 +1,132 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "geometry/convex_hull.hpp"
+
+namespace cohesion::core {
+
+using geom::Vec2;
+
+Engine::Engine(std::vector<Vec2> initial, const Algorithm& algorithm, Scheduler& scheduler,
+               EngineConfig config)
+    : algorithm_(algorithm),
+      scheduler_(scheduler),
+      config_(std::move(config)),
+      trace_(std::move(initial)),
+      busy_until_(trace_.robot_count(), 0.0),
+      activation_counts_(trace_.robot_count(), 0),
+      crashed_(trace_.robot_count(), false),
+      rng_(config_.seed) {
+  if (trace_.robot_count() == 0) throw std::invalid_argument("Engine: empty configuration");
+}
+
+Snapshot Engine::honest_snapshot(RobotId robot, Time t, const LocalFrame& frame) {
+  const Vec2 self = trace_.position(robot, t);
+  const double v = config_.visibility.radius_of(robot);
+  Snapshot snap;
+  for (RobotId other = 0; other < trace_.robot_count(); ++other) {
+    if (other == robot) continue;
+    const Vec2 p = trace_.position(other, t);
+    const double d = self.distance_to(p);
+    const bool visible = config_.visibility.open_ball ? (d < v) : (d <= v + 1e-12);
+    if (!visible) continue;
+    snap.neighbours.push_back({frame.perceive(p - self, rng_), false});
+  }
+  if (!config_.visibility.multiplicity_detection) {
+    // Co-located robots are perceived as a single robot (paper footnote 4):
+    // collapse perceived positions closer than a resolution threshold.
+    auto& v_ = snap.neighbours;
+    std::vector<ObservedRobot> collapsed;
+    for (const auto& o : v_) {
+      const bool dup = std::any_of(collapsed.begin(), collapsed.end(), [&](const ObservedRobot& c) {
+        return geom::almost_equal(c.position, o.position, 1e-12);
+      });
+      if (!dup) collapsed.push_back(o);
+    }
+    v_ = std::move(collapsed);
+  } else {
+    for (auto& o : snap.neighbours) {
+      o.multiplicity = std::count_if(snap.neighbours.begin(), snap.neighbours.end(),
+                                     [&](const ObservedRobot& c) {
+                                       return geom::almost_equal(c.position, o.position, 1e-12);
+                                     }) > 1;
+    }
+  }
+  return snap;
+}
+
+bool Engine::step() {
+  const std::optional<Activation> proposal = scheduler_.next(*this);
+  if (!proposal) return false;
+  const Activation a = *proposal;
+
+  // --- Contract checks (scheduler bugs should fail loudly). ---
+  if (a.robot >= trace_.robot_count()) throw std::logic_error("Engine: bad robot id");
+  if (a.t_look + 1e-12 < frontier_) throw std::logic_error("Engine: look time before frontier");
+  if (a.t_look + 1e-12 < busy_until_[a.robot]) {
+    throw std::logic_error("Engine: robot activated while still active");
+  }
+  if (!(a.t_look <= a.t_move_start + 1e-12 && a.t_move_start <= a.t_move_end + 1e-12)) {
+    throw std::logic_error("Engine: activation phases out of order");
+  }
+  if (!(a.realized_fraction > 0.0 && a.realized_fraction <= 1.0)) {
+    throw std::logic_error("Engine: realized_fraction outside (0, 1]");
+  }
+
+  // --- Look ---
+  const LocalFrame frame = config_.error.exact() && !config_.error.random_rotation
+                               ? LocalFrame::identity()
+                               : LocalFrame::sample(config_.error, rng_);
+  Snapshot snap = honest_snapshot(a.robot, a.t_look, frame);
+  if (perception_hook_) snap = perception_hook_(a.robot, a.t_look, snap);
+
+  // --- Compute ---
+  const Vec2 self = trace_.position(a.robot, a.t_look);
+  Vec2 local_destination = crashed_[a.robot] ? Vec2{0.0, 0.0} : algorithm_.compute(snap);
+  const Vec2 planned = self + frame.intent_to_global(local_destination);
+
+  // --- Move (xi-rigid truncation + motion error) ---
+  Vec2 realized = geom::lerp(self, planned, a.realized_fraction);
+  realized = apply_motion_error(self, realized, config_.error.motion_quad_coeff,
+                                config_.visibility.radius_of(a.robot), rng_);
+
+  ActivationRecord rec{a, self, planned, realized, snap.size()};
+  trace_.record(rec);
+  busy_until_[a.robot] = a.t_move_end;
+  frontier_ = a.t_look;
+  ++activation_counts_[a.robot];
+  return true;
+}
+
+std::size_t Engine::run(std::size_t max_activations) {
+  std::size_t done = 0;
+  while (done < max_activations && step()) ++done;
+  return done;
+}
+
+bool Engine::run_until_converged(double epsilon, std::size_t max_activations,
+                                 std::size_t check_every) {
+  std::size_t done = 0;
+  while (done < max_activations) {
+    for (std::size_t i = 0; i < check_every && done < max_activations; ++i, ++done) {
+      if (!step()) return current_diameter() <= epsilon;
+    }
+    if (current_diameter() <= epsilon) return true;
+  }
+  return current_diameter() <= epsilon;
+}
+
+std::vector<Vec2> Engine::current_configuration() const {
+  // Evaluate at the end of all committed motion: the configuration "if
+  // nothing further is scheduled".
+  return trace_.configuration(trace_.end_time() + 1.0);
+}
+
+double Engine::current_diameter() const {
+  return geom::set_diameter(current_configuration());
+}
+
+}  // namespace cohesion::core

@@ -1,0 +1,106 @@
+// The continuous-time Look-Compute-Move simulation engine.
+//
+// Activations are committed in non-decreasing Look-time order. Because a
+// robot's trajectory is fixed at commit time (Compute uses only the
+// snapshot; OBLOT robots are oblivious), any later Look can evaluate every
+// robot's exact position by piecewise-linear interpolation — which yields
+// the Async semantics of the paper: a Look may catch another robot anywhere
+// along its current trajectory.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "core/activation.hpp"
+#include "core/algorithm.hpp"
+#include "core/error_model.hpp"
+#include "core/scheduler.hpp"
+#include "core/trace.hpp"
+#include "core/types.hpp"
+#include "geometry/vec2.hpp"
+
+namespace cohesion::core {
+
+/// Visibility semantics (paper §2.1 and §6.2).
+struct VisibilityModel {
+  double radius = 1.0;                  ///< common visibility range V
+  std::vector<double> per_robot_radii;  ///< optional per-robot radii (§6.2)
+  bool open_ball = false;               ///< strict < V instead of <= V
+  bool multiplicity_detection = false;  ///< co-located robots distinguishable
+
+  [[nodiscard]] double radius_of(RobotId r) const {
+    return per_robot_radii.empty() ? radius : per_robot_radii.at(r);
+  }
+};
+
+struct EngineConfig {
+  VisibilityModel visibility;
+  ErrorModel error;
+  std::uint64_t seed = 1;
+};
+
+/// Hook that lets an adversary replace the perceived snapshot of a given
+/// robot wholesale (used by the Section-7 impossibility construction, which
+/// chooses worst-case in-spec perception). Receives the robot, the look
+/// time, and the honestly-perceived snapshot; returns the snapshot actually
+/// delivered to the algorithm.
+using PerceptionHook =
+    std::function<Snapshot(RobotId, Time, const Snapshot&)>;
+
+class Engine final : public SimulationView {
+ public:
+  Engine(std::vector<geom::Vec2> initial, const Algorithm& algorithm, Scheduler& scheduler,
+         EngineConfig config = {});
+
+  // SimulationView:
+  [[nodiscard]] std::size_t robot_count() const override { return trace_.robot_count(); }
+  [[nodiscard]] Time busy_until(RobotId robot) const override { return busy_until_.at(robot); }
+  [[nodiscard]] Time frontier() const override { return frontier_; }
+  [[nodiscard]] geom::Vec2 position(RobotId robot, Time t) const override {
+    return trace_.position(robot, t);
+  }
+  [[nodiscard]] std::size_t activations_of(RobotId robot) const override {
+    return activation_counts_.at(robot);
+  }
+
+  /// Execute one activation. Returns false iff the scheduler ended the run.
+  bool step();
+
+  /// Run until `max_activations` have been committed or the scheduler ends.
+  /// Returns the number of activations executed.
+  std::size_t run(std::size_t max_activations);
+
+  /// Run until the configuration diameter is <= epsilon (checked every
+  /// `check_every` activations), the activation budget is exhausted, or the
+  /// scheduler ends. Returns true iff convergence was reached.
+  bool run_until_converged(double epsilon, std::size_t max_activations,
+                           std::size_t check_every = 64);
+
+  /// Mark a robot crashed (fail-stop, §6.1): from now on its activations
+  /// perform the nil movement.
+  void crash(RobotId robot) { crashed_.at(robot) = true; }
+
+  [[nodiscard]] const Trace& trace() const { return trace_; }
+  [[nodiscard]] std::vector<geom::Vec2> current_configuration() const;
+  [[nodiscard]] double current_diameter() const;
+
+  void set_perception_hook(PerceptionHook hook) { perception_hook_ = std::move(hook); }
+
+ private:
+  [[nodiscard]] Snapshot honest_snapshot(RobotId robot, Time t, const LocalFrame& frame);
+
+  const Algorithm& algorithm_;
+  Scheduler& scheduler_;
+  EngineConfig config_;
+  Trace trace_;
+  std::vector<Time> busy_until_;
+  std::vector<std::size_t> activation_counts_;
+  std::vector<bool> crashed_;
+  Time frontier_ = 0.0;
+  std::mt19937_64 rng_;
+  PerceptionHook perception_hook_;
+};
+
+}  // namespace cohesion::core

@@ -1,0 +1,54 @@
+// The full history of a simulation run: initial configuration plus every
+// committed activation in look-time order. Validators, metrics and tests
+// all consume traces.
+#pragma once
+
+#include <vector>
+
+#include "core/activation.hpp"
+#include "core/types.hpp"
+#include "geometry/vec2.hpp"
+
+namespace cohesion::core {
+
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::vector<geom::Vec2> initial)
+      : initial_(std::move(initial)), per_robot_(initial_.size()) {}
+
+  void record(const ActivationRecord& rec) {
+    per_robot_.at(rec.activation.robot).push_back(records_.size());
+    records_.push_back(rec);
+  }
+
+  [[nodiscard]] const std::vector<geom::Vec2>& initial_configuration() const { return initial_; }
+  [[nodiscard]] const std::vector<ActivationRecord>& records() const { return records_; }
+  [[nodiscard]] std::size_t robot_count() const { return initial_.size(); }
+
+  /// Position of `robot` at time `t`, reconstructed from the trace
+  /// (piecewise-linear interpolation during Move phases).
+  [[nodiscard]] geom::Vec2 position(RobotId robot, Time t) const;
+
+  /// Positions of all robots at time `t`.
+  [[nodiscard]] std::vector<geom::Vec2> configuration(Time t) const;
+
+  /// Number of completed activations of `robot`.
+  [[nodiscard]] std::size_t activation_count(RobotId robot) const;
+
+  /// Time of the last committed move end (0 for an empty trace).
+  [[nodiscard]] Time end_time() const;
+
+  /// Round boundaries: times t_0 < t_1 < ... where each round [t_i, t_{i+1})
+  /// is a minimal interval in which every robot completes at least one full
+  /// activity cycle. This is the paper's notion of a "round" used to state
+  /// convergence rates in asynchronous models.
+  [[nodiscard]] std::vector<Time> round_boundaries() const;
+
+ private:
+  std::vector<geom::Vec2> initial_;
+  std::vector<ActivationRecord> records_;  // in non-decreasing t_look order
+  std::vector<std::vector<std::size_t>> per_robot_;  // record indices per robot
+};
+
+}  // namespace cohesion::core

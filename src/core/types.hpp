@@ -1,0 +1,19 @@
+// Fundamental identifiers and time for the OBLOT simulation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cohesion::core {
+
+/// Index of a robot in the configuration. Robots are anonymous *to each
+/// other* (snapshots carry no ids); ids exist only for the simulator,
+/// scheduler and analysis code.
+using RobotId = std::size_t;
+
+/// Continuous simulation time, in arbitrary units.
+using Time = double;
+
+inline constexpr RobotId kInvalidRobot = static_cast<RobotId>(-1);
+
+}  // namespace cohesion::core

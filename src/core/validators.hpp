@@ -1,0 +1,39 @@
+// Post-hoc validation that a trace obeys a scheduling model (paper §2.3.1
+// and Fig. 1-2). Tests use these to certify the generative schedulers; the
+// benches use them to certify that counterexample schedules really are
+// 1-Async / 2-NestA / k-Async.
+#pragma once
+
+#include "core/trace.hpp"
+#include "core/types.hpp"
+
+namespace cohesion::core {
+
+/// Largest number of activations of any single robot whose Look falls
+/// within one activity interval [t_look, t_move_end] of another robot.
+/// A trace is k-Async iff this is <= k. (Intervals that merely touch at an
+/// endpoint do not count.)
+std::size_t max_activations_within_interval(const Trace& trace);
+
+/// True iff all pairs of activity intervals are disjoint or nested — the
+/// NestA restriction. (Sharing a single endpoint counts as crossing.)
+bool is_nested_activation(const Trace& trace);
+
+/// True iff the trace is k-NestA: nested and at most k activations of one
+/// robot within any single interval of another.
+bool is_k_nesta(const Trace& trace, std::size_t k);
+
+/// True iff the trace is k-Async.
+bool is_k_async(const Trace& trace, std::size_t k);
+
+/// True iff the trace is SSync-shaped: time partitions into rounds of length
+/// `round_length` such that every activation is fully contained in one round
+/// and every activated robot's interval spans look-to-move within the round.
+bool is_ssync(const Trace& trace, double round_length = 1.0);
+
+/// Fairness check: no robot goes more than `window` time units without
+/// starting an activation, over the traced horizon (final partial window
+/// exempt).
+bool is_fair(const Trace& trace, Time window);
+
+}  // namespace cohesion::core

@@ -1,0 +1,74 @@
+#include "core/visibility.hpp"
+
+#include <algorithm>
+
+namespace cohesion::core {
+
+VisibilityGraph::VisibilityGraph(const std::vector<geom::Vec2>& positions, double v,
+                                 bool open_ball)
+    : n_(positions.size()) {
+  for (RobotId a = 0; a < n_; ++a) {
+    for (RobotId b = a + 1; b < n_; ++b) {
+      const double d = positions[a].distance_to(positions[b]);
+      const bool vis = open_ball ? (d < v) : (d <= v + 1e-12);
+      if (vis) edges_.emplace_back(a, b);
+    }
+  }
+}
+
+bool VisibilityGraph::has_edge(RobotId a, RobotId b) const {
+  if (a > b) std::swap(a, b);
+  return std::binary_search(edges_.begin(), edges_.end(), std::make_pair(a, b));
+}
+
+bool VisibilityGraph::connected() const {
+  if (n_ == 0) return true;
+  std::vector<std::vector<RobotId>> adj(n_);
+  for (const auto& [a, b] : edges_) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  std::vector<bool> seen(n_, false);
+  std::vector<RobotId> stack{0};
+  seen[0] = true;
+  std::size_t count = 1;
+  while (!stack.empty()) {
+    const RobotId cur = stack.back();
+    stack.pop_back();
+    for (const RobotId nxt : adj[cur]) {
+      if (!seen[nxt]) {
+        seen[nxt] = true;
+        ++count;
+        stack.push_back(nxt);
+      }
+    }
+  }
+  return count == n_;
+}
+
+bool VisibilityGraph::subset_of(const VisibilityGraph& later) const {
+  return edges_lost(later) == 0;
+}
+
+std::size_t VisibilityGraph::edges_lost(const VisibilityGraph& later) const {
+  std::size_t lost = 0;
+  for (const auto& [a, b] : edges_) {
+    if (!later.has_edge(a, b)) ++lost;
+  }
+  return lost;
+}
+
+double worst_initial_pair_stretch(const std::vector<geom::Vec2>& initial,
+                                  const std::vector<geom::Vec2>& positions, double v) {
+  double worst = 0.0;
+  for (std::size_t a = 0; a < initial.size(); ++a) {
+    for (std::size_t b = a + 1; b < initial.size(); ++b) {
+      if (initial[a].distance_to(initial[b]) <= v + 1e-12) {
+        worst = std::max(worst, positions[a].distance_to(positions[b]) / v);
+      }
+    }
+  }
+  return worst;
+}
+
+}  // namespace cohesion::core

@@ -1,0 +1,41 @@
+// Visibility graphs over configurations (paper §2.1) and the edge/
+// connectivity predicates used by Cohesive Convergence.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/types.hpp"
+#include "geometry/vec2.hpp"
+
+namespace cohesion::core {
+
+/// Undirected visibility graph: edge (i, j) iff |P_i P_j| <= V.
+class VisibilityGraph {
+ public:
+  VisibilityGraph(const std::vector<geom::Vec2>& positions, double v, bool open_ball = false);
+
+  [[nodiscard]] bool has_edge(RobotId a, RobotId b) const;
+  [[nodiscard]] const std::vector<std::pair<RobotId, RobotId>>& edges() const { return edges_; }
+  [[nodiscard]] std::size_t robot_count() const { return n_; }
+  [[nodiscard]] bool connected() const;
+
+  /// True iff every edge of *this also exists in `later` — the invariant
+  /// E(0) subseteq E(t) of Cohesive Convergence.
+  [[nodiscard]] bool subset_of(const VisibilityGraph& later) const;
+
+  /// Number of edges of *this missing from `later`.
+  [[nodiscard]] std::size_t edges_lost(const VisibilityGraph& later) const;
+
+ private:
+  std::size_t n_;
+  std::vector<std::pair<RobotId, RobotId>> edges_;  // a < b, sorted
+};
+
+/// Max over initially-visible pairs of their distance at `positions`,
+/// normalized by V: > 1 means some initial visibility was lost.
+double worst_initial_pair_stretch(const std::vector<geom::Vec2>& initial,
+                                  const std::vector<geom::Vec2>& positions, double v);
+
+}  // namespace cohesion::core

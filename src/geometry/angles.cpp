@@ -1,0 +1,77 @@
+#include "geometry/angles.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <ostream>
+#include <stdexcept>
+
+namespace cohesion::geom {
+
+std::ostream& operator<<(std::ostream& os, Vec2 v) {
+  return os << '(' << v.x << ", " << v.y << ')';
+}
+
+double normalize_angle(double theta) {
+  double t = std::fmod(theta, kTwoPi);
+  if (t < 0.0) t += kTwoPi;
+  return t;
+}
+
+double normalize_angle_signed(double theta) {
+  double t = normalize_angle(theta);
+  if (t > kPi) t -= kTwoPi;
+  return t;
+}
+
+double angle_distance(double a, double b) {
+  return std::abs(normalize_angle_signed(a - b));
+}
+
+double ccw_sweep(double from, double to) { return normalize_angle(to - from); }
+
+double interior_angle(Vec2 p, Vec2 q, Vec2 r) {
+  const Vec2 u = p - q, v = r - q;
+  const double nu = u.norm(), nv = v.norm();
+  if (nu == 0.0 || nv == 0.0) return 0.0;
+  const double c = std::clamp(u.dot(v) / (nu * nv), -1.0, 1.0);
+  return std::acos(c);
+}
+
+double turn_angle(Vec2 p, Vec2 q, Vec2 r) {
+  const Vec2 u = q - p, v = r - q;
+  if (u.norm2() == 0.0 || v.norm2() == 0.0) return 0.0;
+  return std::atan2(u.cross(v), u.dot(v));
+}
+
+AngularGap largest_angular_gap(const std::vector<double>& directions) {
+  if (directions.empty()) throw std::invalid_argument("largest_angular_gap: empty input");
+  const std::size_t n = directions.size();
+  if (n == 1) return AngularGap{kTwoPi, 0, 0};
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> norm(n);
+  for (std::size_t i = 0; i < n; ++i) norm[i] = normalize_angle(directions[i]);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (norm[a] != norm[b]) return norm[a] < norm[b];
+    return a < b;
+  });
+
+  AngularGap best;
+  best.gap = -1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t cur = order[i];
+    const std::size_t nxt = order[(i + 1) % n];
+    double gap = norm[nxt] - norm[cur];
+    if (i + 1 == n) gap += kTwoPi;
+    if (gap > best.gap) {
+      best.gap = gap;
+      best.before = cur;
+      best.after = nxt;
+    }
+  }
+  return best;
+}
+
+}  // namespace cohesion::geom

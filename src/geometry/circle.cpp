@@ -1,0 +1,98 @@
+#include "geometry/circle.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/angles.hpp"
+
+namespace cohesion::geom {
+
+std::vector<Vec2> intersect(const Circle& c1, const Circle& c2) {
+  const double d = c1.center.distance_to(c2.center);
+  if (d == 0.0) return {};  // concentric: none or infinitely many; report none
+  const double r1 = c1.radius, r2 = c2.radius;
+  if (d > r1 + r2 + 1e-12 || d < std::abs(r1 - r2) - 1e-12) return {};
+  // Distance from c1.center to the radical line along the center line.
+  const double a = (r1 * r1 - r2 * r2 + d * d) / (2.0 * d);
+  const double h2 = r1 * r1 - a * a;
+  const Vec2 dir = (c2.center - c1.center) / d;
+  const Vec2 base = c1.center + dir * a;
+  if (h2 <= 1e-15) return {base};
+  const double h = std::sqrt(h2);
+  const Vec2 off = dir.perp() * h;
+  return {base + off, base - off};
+}
+
+std::vector<Vec2> intersect(const Circle& c, const Segment& s) {
+  const Vec2 d = s.b - s.a;
+  const Vec2 f = s.a - c.center;
+  const double A = d.norm2();
+  if (A == 0.0) {
+    if (std::abs(f.norm() - c.radius) <= 1e-12) return {s.a};
+    return {};
+  }
+  const double B = 2.0 * f.dot(d);
+  const double C = f.norm2() - c.radius * c.radius;
+  const double disc = B * B - 4.0 * A * C;
+  if (disc < 0.0) return {};
+  const double sq = std::sqrt(disc);
+  std::vector<Vec2> out;
+  for (const double t : {(-B - sq) / (2.0 * A), (-B + sq) / (2.0 * A)}) {
+    if (t >= -1e-12 && t <= 1.0 + 1e-12) out.push_back(s.point_at(std::clamp(t, 0.0, 1.0)));
+  }
+  if (out.size() == 2 && almost_equal(out[0], out[1], 1e-12)) out.pop_back();
+  return out;
+}
+
+bool disks_intersect(const Circle& c1, const Circle& c2, double eps) {
+  return c1.center.distance_to(c2.center) <= c1.radius + c2.radius + eps;
+}
+
+double lens_area(const Circle& c1, const Circle& c2) {
+  const double d = c1.center.distance_to(c2.center);
+  const double r = c1.radius, R = c2.radius;
+  if (d >= r + R) return 0.0;
+  if (d <= std::abs(R - r)) {
+    const double m = std::min(r, R);
+    return kPi * m * m;
+  }
+  const double alpha = std::acos(std::clamp((d * d + r * r - R * R) / (2.0 * d * r), -1.0, 1.0));
+  const double beta = std::acos(std::clamp((d * d + R * R - r * r) / (2.0 * d * R), -1.0, 1.0));
+  return r * r * (alpha - std::sin(2.0 * alpha) / 2.0) + R * R * (beta - std::sin(2.0 * beta) / 2.0);
+}
+
+std::optional<double> clamp_ray_to_disks(Vec2 origin, Vec2 dest, const std::vector<Circle>& disks,
+                                         double eps) {
+  double t_max = 1.0;
+  for (const Circle& c : disks) {
+    const Vec2 f = origin - c.center;
+    if (f.norm() > c.radius + 1e-9) return std::nullopt;
+    const Vec2 d = dest - origin;
+    const double A = d.norm2();
+    if (A == 0.0) continue;
+    const double B = 2.0 * f.dot(d);
+    const double C = f.norm2() - c.radius * c.radius;
+    // Solve A t^2 + B t + C <= 0 for the largest t in [0, 1].
+    const double disc = B * B - 4.0 * A * C;
+    if (disc < 0.0) {
+      // Origin inside but ray never exits? impossible when C<=0 and disc<0 can't
+      // happen for C<=0; treat defensively as no constraint.
+      continue;
+    }
+    const double t_exit = (-B + std::sqrt(disc)) / (2.0 * A);
+    t_max = std::min(t_max, std::max(0.0, t_exit - eps));
+  }
+  return t_max;
+}
+
+std::optional<Circle> circumcircle(Vec2 a, Vec2 b, Vec2 c) {
+  const double d = 2.0 * ((b - a).cross(c - a));
+  if (std::abs(d) < 1e-14) return std::nullopt;
+  const double a2 = a.norm2(), b2 = b.norm2(), c2 = c.norm2();
+  const double ux = (a2 * (b.y - c.y) + b2 * (c.y - a.y) + c2 * (a.y - b.y)) / d;
+  const double uy = (a2 * (c.x - b.x) + b2 * (a.x - c.x) + c2 * (b.x - a.x)) / d;
+  const Vec2 center{ux, uy};
+  return Circle{center, center.distance_to(a)};
+}
+
+}  // namespace cohesion::geom

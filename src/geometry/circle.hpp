@@ -1,0 +1,50 @@
+// Circles and disks: membership, intersections, lens geometry.
+//
+// Safe regions in every algorithm the paper discusses are disks or unions /
+// intersections of disks, so this is the workhorse of src/algo.
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "geometry/angles.hpp"
+#include "geometry/segment.hpp"
+#include "geometry/vec2.hpp"
+
+namespace cohesion::geom {
+
+struct Circle {
+  Vec2 center;
+  double radius = 0.0;
+
+  /// Closed-disk membership (with tolerance for boundary points).
+  [[nodiscard]] bool contains(Vec2 p, double eps = 1e-9) const {
+    return center.distance_to(p) <= radius + eps;
+  }
+  [[nodiscard]] double area() const { return kPi * radius * radius; }
+};
+
+/// Intersection points of two circle boundaries (0, 1, or 2 points).
+std::vector<Vec2> intersect(const Circle& c1, const Circle& c2);
+
+/// Intersection of a circle boundary with a segment (0, 1, or 2 points,
+/// ordered by parameter along the segment).
+std::vector<Vec2> intersect(const Circle& c, const Segment& s);
+
+/// Area of the intersection of two closed disks (the "lens").
+double lens_area(const Circle& c1, const Circle& c2);
+
+/// True iff the closed disks intersect.
+bool disks_intersect(const Circle& c1, const Circle& c2, double eps = 1e-9);
+
+/// Largest t in [0,1] such that every point of segment(origin, origin + t*(dest-origin))
+/// lies in all of the given closed disks; nullopt if the origin itself is outside.
+/// Used to clamp planned motions to composite safe regions.
+std::optional<double> clamp_ray_to_disks(Vec2 origin, Vec2 dest, const std::vector<Circle>& disks,
+                                         double eps = 1e-12);
+
+/// Circle through three non-collinear points; nullopt if (nearly) collinear.
+std::optional<Circle> circumcircle(Vec2 a, Vec2 b, Vec2 c);
+
+}  // namespace cohesion::geom

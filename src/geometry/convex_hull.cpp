@@ -1,0 +1,94 @@
+#include "geometry/convex_hull.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/segment.hpp"
+
+namespace cohesion::geom {
+
+std::vector<Vec2> convex_hull(std::vector<Vec2> pts) {
+  std::sort(pts.begin(), pts.end(), [](Vec2 a, Vec2 b) {
+    if (a.x != b.x) return a.x < b.x;
+    return a.y < b.y;
+  });
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  const std::size_t n = pts.size();
+  if (n <= 2) return pts;
+
+  std::vector<Vec2> hull(2 * n);
+  std::size_t k = 0;
+  // Lower hull.
+  for (std::size_t i = 0; i < n; ++i) {
+    while (k >= 2 && (hull[k - 1] - hull[k - 2]).cross(pts[i] - hull[k - 2]) <= 0) --k;
+    hull[k++] = pts[i];
+  }
+  // Upper hull.
+  const std::size_t lower = k + 1;
+  for (std::size_t i = n - 1; i-- > 0;) {
+    while (k >= lower && (hull[k - 1] - hull[k - 2]).cross(pts[i] - hull[k - 2]) <= 0) --k;
+    hull[k++] = pts[i];
+  }
+  hull.resize(k - 1);
+  return hull;
+}
+
+double polygon_perimeter(const std::vector<Vec2>& hull) {
+  const std::size_t n = hull.size();
+  if (n < 2) return 0.0;
+  double p = 0.0;
+  for (std::size_t i = 0; i < n; ++i) p += hull[i].distance_to(hull[(i + 1) % n]);
+  if (n == 2) p /= 2.0;  // a segment counted once
+  return p;
+}
+
+double polygon_area(const std::vector<Vec2>& hull) {
+  const std::size_t n = hull.size();
+  if (n < 3) return 0.0;
+  double a = 0.0;
+  for (std::size_t i = 0; i < n; ++i) a += hull[i].cross(hull[(i + 1) % n]);
+  return a / 2.0;
+}
+
+double hull_diameter(const std::vector<Vec2>& hull) {
+  const std::size_t n = hull.size();
+  if (n < 2) return 0.0;
+  if (n == 2) return hull[0].distance_to(hull[1]);
+  // Rotating calipers over antipodal pairs.
+  double best = 0.0;
+  std::size_t j = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2 edge = hull[(i + 1) % n] - hull[i];
+    while (true) {
+      const std::size_t jn = (j + 1) % n;
+      if (edge.cross(hull[jn] - hull[j]) > 0) {
+        j = jn;
+      } else {
+        break;
+      }
+    }
+    best = std::max({best, hull[i].distance_to(hull[j]), hull[(i + 1) % n].distance_to(hull[j])});
+  }
+  return best;
+}
+
+double set_diameter(const std::vector<Vec2>& points) {
+  return hull_diameter(convex_hull(points));
+}
+
+bool hull_contains(const std::vector<Vec2>& hull, Vec2 p, double eps) {
+  const std::size_t n = hull.size();
+  if (n == 0) return false;
+  if (n == 1) return hull[0].distance_to(p) <= eps;
+  if (n == 2) {
+    const Segment s{hull[0], hull[1]};
+    return s.distance_to(p) <= eps;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2 a = hull[i], b = hull[(i + 1) % n];
+    if ((b - a).cross(p - a) < -eps * (b - a).norm()) return false;
+  }
+  return true;
+}
+
+}  // namespace cohesion::geom

@@ -1,0 +1,36 @@
+// Convex hulls of point sets.
+//
+// The paper's congregation argument (§5) measures progress through the
+// perimeter and diameter of the convex hull of robot positions (CH_t is a
+// nested, shrinking sequence). These routines feed the metrics module and
+// the congregation benches (E6).
+#pragma once
+
+#include <vector>
+
+#include "geometry/vec2.hpp"
+
+namespace cohesion::geom {
+
+/// Convex hull via Andrew's monotone chain.
+/// Returns vertices in counter-clockwise order, no duplicated endpoint,
+/// collinear boundary points removed. Degenerate inputs (all points equal
+/// or collinear) return the 1- or 2-point hull.
+std::vector<Vec2> convex_hull(std::vector<Vec2> points);
+
+/// Perimeter of the polygon given by `hull` (closed implicitly).
+double polygon_perimeter(const std::vector<Vec2>& hull);
+
+/// Signed area (ccw positive) of the polygon given by `hull`.
+double polygon_area(const std::vector<Vec2>& hull);
+
+/// Diameter (max pairwise distance) of a convex polygon via rotating calipers.
+double hull_diameter(const std::vector<Vec2>& hull);
+
+/// Max pairwise distance of an arbitrary point set (hull + calipers).
+double set_diameter(const std::vector<Vec2>& points);
+
+/// True iff `p` lies in the closed convex polygon `hull` (ccw order).
+bool hull_contains(const std::vector<Vec2>& hull, Vec2 p, double eps = 1e-9);
+
+}  // namespace cohesion::geom

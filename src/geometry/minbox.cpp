@@ -1,0 +1,19 @@
+#include "geometry/minbox.hpp"
+
+#include <algorithm>
+
+namespace cohesion::geom {
+
+MinBox minbox(const std::vector<Vec2>& points) {
+  if (points.empty()) return {{0.0, 0.0}, {0.0, 0.0}};
+  MinBox box{points[0], points[0]};
+  for (const Vec2 p : points) {
+    box.lo.x = std::min(box.lo.x, p.x);
+    box.lo.y = std::min(box.lo.y, p.y);
+    box.hi.x = std::max(box.hi.x, p.x);
+    box.hi.y = std::max(box.hi.y, p.y);
+  }
+  return box;
+}
+
+}  // namespace cohesion::geom

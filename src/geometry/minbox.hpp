@@ -1,0 +1,29 @@
+// Axis-aligned minimal bounding box ("minbox").
+//
+// The Go-To-Centre-Of-Minbox baseline [16] (paper §1.2.2) moves robots
+// toward the centre of the minbox; implemented for experiment E7.
+#pragma once
+
+#include <vector>
+
+#include "geometry/vec2.hpp"
+
+namespace cohesion::geom {
+
+struct MinBox {
+  Vec2 lo;  ///< min corner
+  Vec2 hi;  ///< max corner
+
+  [[nodiscard]] Vec2 center() const { return midpoint(lo, hi); }
+  [[nodiscard]] double width() const { return hi.x - lo.x; }
+  [[nodiscard]] double height() const { return hi.y - lo.y; }
+  [[nodiscard]] double diagonal() const { return lo.distance_to(hi); }
+  [[nodiscard]] bool contains(Vec2 p, double eps = 1e-9) const {
+    return p.x >= lo.x - eps && p.x <= hi.x + eps && p.y >= lo.y - eps && p.y <= hi.y + eps;
+  }
+};
+
+/// Minimal axis-aligned box containing all points. Empty input -> zero box.
+MinBox minbox(const std::vector<Vec2>& points);
+
+}  // namespace cohesion::geom

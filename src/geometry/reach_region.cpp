@@ -1,0 +1,103 @@
+#include "geometry/reach_region.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "geometry/safe_region.hpp"
+
+namespace cohesion::geom {
+
+namespace {
+
+/// Point of circle `c` at maximum distance from `q` (the antipode of the
+/// projection of q).
+Vec2 farthest_point_on_circle(const Circle& c, Vec2 q) {
+  const Vec2 d = (c.center - q).normalized();
+  if (d == Vec2{0.0, 0.0}) return c.center + Vec2{c.radius, 0.0};
+  return c.center + d * c.radius;
+}
+
+}  // namespace
+
+ReachRegion::ReachRegion(Vec2 y0, Vec2 x0, Vec2 x1, double r)
+    : y0_(y0), x0_(x0), x1_(x1), r_(r) {
+  if (almost_equal(x0, y0, 1e-15) || almost_equal(x1, y0, 1e-15)) {
+    throw std::invalid_argument("ReachRegion: X coincides with Y0");
+  }
+  const Circle s_x0 = kknps_safe_region(y0, x0, r);
+  const Circle s_x1 = kknps_safe_region(y0, x1, r);
+  y_plus_ = farthest_point_on_circle(s_x0, x1);
+  y_minus_ = farthest_point_on_circle(s_x1, x0);
+
+  // Bulge = (a) points within |X1 Y0+| of X1 and within |Y0 Y0+| of Y0,
+  // intersected with (b) points within |X0 Y0-| of X0 and |Y0 Y0-| of Y0.
+  bulge_disks_ = {
+      Circle{x1, x1.distance_to(y_plus_)},
+      Circle{y0, y0.distance_to(y_plus_)},
+      Circle{x0, x0.distance_to(y_minus_)},
+      Circle{y0, y0.distance_to(y_minus_)},
+  };
+}
+
+Vec2 ReachRegion::core_center(double s) const {
+  const Vec2 xs = lerp(x0_, x1_, s);
+  const Vec2 dir = (xs - y0_).normalized();
+  return y0_ + dir * r_;
+}
+
+bool ReachRegion::core_contains(Vec2 p, double eps) const {
+  // Distance from p to the swept centre, as a function of s, is continuous;
+  // the sweep of centres is an arc of the circle of radius r around Y0, over
+  // which distance-to-p is unimodal in arc angle, hence in s it has at most
+  // one interior extremum on each monotone piece of the angle map. A
+  // golden-section search bracketed by a coarse scan is robust here.
+  auto dist = [&](double s) { return core_center(s).distance_to(p); };
+
+  constexpr int kScan = 64;
+  double best = std::min(dist(0.0), dist(1.0));
+  double best_s = dist(0.0) <= dist(1.0) ? 0.0 : 1.0;
+  for (int i = 1; i < kScan; ++i) {
+    const double s = static_cast<double>(i) / kScan;
+    const double d = dist(s);
+    if (d < best) {
+      best = d;
+      best_s = s;
+    }
+  }
+  // Refine around best_s.
+  double lo = std::max(0.0, best_s - 1.0 / kScan);
+  double hi = std::min(1.0, best_s + 1.0 / kScan);
+  constexpr double kGolden = 0.618033988749895;
+  double a = lo, b = hi;
+  double c1 = b - kGolden * (b - a), c2 = a + kGolden * (b - a);
+  double f1 = dist(c1), f2 = dist(c2);
+  for (int it = 0; it < 60; ++it) {
+    if (f1 < f2) {
+      b = c2;
+      c2 = c1;
+      f2 = f1;
+      c1 = b - kGolden * (b - a);
+      f1 = dist(c1);
+    } else {
+      a = c1;
+      c1 = c2;
+      f1 = f2;
+      c2 = a + kGolden * (b - a);
+      f2 = dist(c2);
+    }
+  }
+  best = std::min({best, f1, f2});
+  return best <= r_ + eps;
+}
+
+bool ReachRegion::bulge_contains(Vec2 p, double eps) const {
+  return std::all_of(bulge_disks_.begin(), bulge_disks_.end(),
+                     [&](const Circle& c) { return c.contains(p, eps); });
+}
+
+bool ReachRegion::contains(Vec2 p, double eps) const {
+  return core_contains(p, eps) || bulge_contains(p, eps);
+}
+
+}  // namespace cohesion::geom

@@ -1,0 +1,56 @@
+// Reach regions R^r_{Y0}(X0, X1) — paper §3.2.1, Fig. 5.
+//
+// R^r_{Y0}(X0,X1) over-approximates the set of points robot Y (starting at
+// Y0) can reach by up to k successive moves, each confined to the current
+// 1/k-scaled safe region with respect to a moving neighbour X travelling
+// from X0 to X1 (Lemmas 1 and 2). It is the union of
+//   * the CORE: all disks of radius r centred at distance r from Y0 in the
+//     direction of some X* on the segment X0 X1; and
+//   * the BULGE: the intersection of four disks determined by the extreme
+//     points Y0+ and Y0- (see below).
+#pragma once
+
+#include <vector>
+
+#include "geometry/circle.hpp"
+#include "geometry/segment.hpp"
+#include "geometry/vec2.hpp"
+
+namespace cohesion::geom {
+
+class ReachRegion {
+ public:
+  /// Build R^r_{Y0}(X0, X1). Requires X0 != Y0 and X1 != Y0.
+  ReachRegion(Vec2 y0, Vec2 x0, Vec2 x1, double r);
+
+  /// Closed membership test. Core membership is decided by minimising the
+  /// distance to the swept disk centre over X* in X0X1 (the distance is
+  /// unimodal in the sweep parameter; golden-section search plus endpoint
+  /// checks).
+  [[nodiscard]] bool contains(Vec2 p, double eps = 1e-9) const;
+
+  [[nodiscard]] bool core_contains(Vec2 p, double eps = 1e-9) const;
+  [[nodiscard]] bool bulge_contains(Vec2 p, double eps = 1e-9) const;
+
+  /// Y0+ : point of S^r_{Y0}(X0) furthest from X1 (paper Fig. 5).
+  [[nodiscard]] Vec2 y_plus() const { return y_plus_; }
+  /// Y0- : point of S^r_{Y0}(X1) furthest from X0.
+  [[nodiscard]] Vec2 y_minus() const { return y_minus_; }
+
+  [[nodiscard]] Vec2 y0() const { return y0_; }
+  [[nodiscard]] Vec2 x0() const { return x0_; }
+  [[nodiscard]] Vec2 x1() const { return x1_; }
+  [[nodiscard]] double r() const { return r_; }
+
+  /// Swept safe-region centre for sweep parameter s in [0,1]:
+  /// Y0 + r * dir(X(s) - Y0) with X(s) = lerp(X0, X1, s).
+  [[nodiscard]] Vec2 core_center(double s) const;
+
+ private:
+  Vec2 y0_, x0_, x1_;
+  double r_;
+  Vec2 y_plus_, y_minus_;
+  std::vector<Circle> bulge_disks_;  // 4 disks; bulge = their intersection
+};
+
+}  // namespace cohesion::geom

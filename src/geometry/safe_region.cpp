@@ -1,0 +1,38 @@
+#include "geometry/safe_region.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "geometry/angles.hpp"
+
+namespace cohesion::geom {
+
+Circle kknps_safe_region(Vec2 y0, Vec2 x0, double r) {
+  const Vec2 dir = (x0 - y0).normalized();
+  if (dir == Vec2{0.0, 0.0}) {
+    throw std::invalid_argument("kknps_safe_region: X0 coincides with Y0");
+  }
+  return {y0 + dir * r, r};
+}
+
+Circle ando_safe_region(Vec2 y0, Vec2 x0, double v) {
+  return {midpoint(y0, x0), v / 2.0};
+}
+
+double KatreniakRegion::area() const {
+  return near_disk.area() + self_disk.area() - lens_area(near_disk, self_disk);
+}
+
+KatreniakRegion katreniak_safe_region(Vec2 y0, Vec2 x0, double v_y) {
+  const double d = y0.distance_to(x0);
+  KatreniakRegion r;
+  r.near_disk = {(x0 + y0 * 3.0) / 4.0, d / 4.0};
+  r.self_disk = {y0, std::max(0.0, (v_y - d) / 4.0)};
+  return r;
+}
+
+double max_move_within(const Circle& region, Vec2 y0) {
+  return region.center.distance_to(y0) + region.radius;
+}
+
+}  // namespace cohesion::geom

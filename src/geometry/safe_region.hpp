@@ -1,0 +1,47 @@
+// Safe regions for motion — the geometric heart of every cohesive algorithm
+// the paper discusses (Fig. 3).
+//
+//  * Ando et al. [2]:   disk of radius V/2 centred at the midpoint of X0 Y0.
+//  * Katreniak [25]:    union of a disk of radius |X0Y0|/4 centred at
+//                       (X0 + 3 Y0)/4 and a disk of radius (V_Y - |X0Y0|)/4
+//                       centred at Y0.
+//  * KKNPS (this paper): disk of radius r = alpha * V_Y / 8 centred at the
+//                       point at distance r from Y0 *in the direction of* X0,
+//                       defined for distant neighbours only; alpha = 1/k in
+//                       the k-Async / k-NestA models.
+#pragma once
+
+#include <vector>
+
+#include "geometry/circle.hpp"
+#include "geometry/vec2.hpp"
+
+namespace cohesion::geom {
+
+/// KKNPS basic safe region S^r_{Y0}(X0): the disk of radius `r` centred at
+/// Y0 + r * dir(X0 - Y0). Requires X0 != Y0.
+Circle kknps_safe_region(Vec2 y0, Vec2 x0, double r);
+
+/// Ando et al. safe region: disk of radius V/2 centred at midpoint(X0, Y0).
+Circle ando_safe_region(Vec2 y0, Vec2 x0, double v);
+
+/// Katreniak's two-disk safe region for robot Y at y0 viewing X at x0 with
+/// working radius v_y (distance to Y's furthest visible neighbour).
+struct KatreniakRegion {
+  Circle near_disk;  ///< radius |X0Y0|/4 centred at (X0 + 3*Y0)/4
+  Circle self_disk;  ///< radius (v_y - |X0Y0|)/4 centred at Y0
+
+  [[nodiscard]] bool contains(Vec2 p, double eps = 1e-9) const {
+    return near_disk.contains(p, eps) || self_disk.contains(p, eps);
+  }
+  [[nodiscard]] double area() const;
+};
+
+KatreniakRegion katreniak_safe_region(Vec2 y0, Vec2 x0, double v_y);
+
+/// Maximum planned move length permitted by a single safe region from y0:
+/// the largest |y0 - p| over p in the region. For the KKNPS disk this is 2r;
+/// for Ando it depends on |X0Y0|; provided for the Fig. 3 bench.
+double max_move_within(const Circle& region, Vec2 y0);
+
+}  // namespace cohesion::geom

@@ -1,0 +1,48 @@
+#include "geometry/segment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cohesion::geom {
+
+double Segment::closest_parameter(Vec2 p) const {
+  const Vec2 d = b - a;
+  const double len2 = d.norm2();
+  if (len2 == 0.0) return 0.0;
+  return std::clamp((p - a).dot(d) / len2, 0.0, 1.0);
+}
+
+int orientation(Vec2 a, Vec2 b, Vec2 c, double eps) {
+  const double v = (b - a).cross(c - a);
+  if (v > eps) return 1;
+  if (v < -eps) return -1;
+  return 0;
+}
+
+std::optional<Vec2> intersect(const Segment& s, const Segment& t) {
+  const Vec2 r = s.b - s.a;
+  const Vec2 q = t.b - t.a;
+  const double denom = r.cross(q);
+  const Vec2 diff = t.a - s.a;
+  if (std::abs(denom) < 1e-15) {
+    // Parallel. Check collinearity, then overlap.
+    if (std::abs(diff.cross(r)) > 1e-12) return std::nullopt;
+    const double len2 = r.norm2();
+    if (len2 == 0.0) {
+      if (almost_equal(s.a, t.a) || almost_equal(s.a, t.b)) return s.a;
+      return std::nullopt;
+    }
+    double t0 = diff.dot(r) / len2;
+    double t1 = t0 + q.dot(r) / len2;
+    if (t0 > t1) std::swap(t0, t1);
+    const double lo = std::max(t0, 0.0), hi = std::min(t1, 1.0);
+    if (lo > hi) return std::nullopt;
+    return s.point_at(lo);
+  }
+  const double u = diff.cross(q) / denom;
+  const double v = diff.cross(r) / denom;
+  if (u < -1e-12 || u > 1.0 + 1e-12 || v < -1e-12 || v > 1.0 + 1e-12) return std::nullopt;
+  return s.point_at(std::clamp(u, 0.0, 1.0));
+}
+
+}  // namespace cohesion::geom

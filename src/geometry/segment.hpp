@@ -1,0 +1,31 @@
+// Line segments: distances, projections, intersections.
+#pragma once
+
+#include <optional>
+
+#include "geometry/vec2.hpp"
+
+namespace cohesion::geom {
+
+struct Segment {
+  Vec2 a;
+  Vec2 b;
+
+  [[nodiscard]] double length() const { return a.distance_to(b); }
+  [[nodiscard]] Vec2 point_at(double t) const { return lerp(a, b, t); }
+  [[nodiscard]] Vec2 direction() const { return (b - a).normalized(); }
+
+  /// Parameter t in [0,1] of the point on the segment closest to `p`.
+  [[nodiscard]] double closest_parameter(Vec2 p) const;
+  [[nodiscard]] Vec2 closest_point(Vec2 p) const { return point_at(closest_parameter(p)); }
+  [[nodiscard]] double distance_to(Vec2 p) const { return closest_point(p).distance_to(p); }
+};
+
+/// Proper or touching intersection point of two segments, if any.
+/// Collinear overlaps report one shared point (an endpoint of the overlap).
+std::optional<Vec2> intersect(const Segment& s, const Segment& t);
+
+/// Orientation predicate: >0 ccw, <0 cw, 0 collinear (within `eps`).
+int orientation(Vec2 a, Vec2 b, Vec2 c, double eps = 1e-12);
+
+}  // namespace cohesion::geom

@@ -1,0 +1,57 @@
+#include "geometry/smallest_enclosing_circle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace cohesion::geom {
+
+namespace {
+
+Circle circle_from(Vec2 a, Vec2 b) { return {midpoint(a, b), a.distance_to(b) / 2.0}; }
+
+Circle circle_from(Vec2 a, Vec2 b, Vec2 c) {
+  if (auto cc = circumcircle(a, b, c)) return *cc;
+  // (Nearly) collinear: return the smallest of the three 2-point circles
+  // that covers all of them.
+  Circle best{{0, 0}, std::numeric_limits<double>::infinity()};
+  for (const auto& cand : {circle_from(a, b), circle_from(b, c), circle_from(a, c)}) {
+    if (cand.contains(a) && cand.contains(b) && cand.contains(c) && cand.radius < best.radius) {
+      best = cand;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Circle smallest_enclosing_circle(std::vector<Vec2> points) {
+  if (points.empty()) return {{0.0, 0.0}, 0.0};
+  // Deterministic shuffle so worst-case inputs do not trigger O(n^3).
+  std::mt19937_64 rng(0x5ec5ec5ull);
+  std::shuffle(points.begin(), points.end(), rng);
+
+  // Welzl's move-to-front, iterative formulation.
+  Circle c{points[0], 0.0};
+  const std::size_t n = points.size();
+  for (std::size_t i = 1; i < n; ++i) {
+    if (c.contains(points[i])) continue;
+    c = {points[i], 0.0};
+    for (std::size_t j = 0; j < i; ++j) {
+      if (c.contains(points[j])) continue;
+      c = circle_from(points[i], points[j]);
+      for (std::size_t k = 0; k < j; ++k) {
+        if (c.contains(points[k])) continue;
+        c = circle_from(points[i], points[j], points[k]);
+      }
+    }
+  }
+  return c;
+}
+
+bool encloses(const Circle& c, const std::vector<Vec2>& points, double eps) {
+  return std::all_of(points.begin(), points.end(),
+                     [&](Vec2 p) { return c.contains(p, eps); });
+}
+
+}  // namespace cohesion::geom

@@ -1,0 +1,23 @@
+// Smallest enclosing circle (SEC) via Welzl's randomized algorithm.
+//
+// The Ando et al. baseline moves each robot toward the centre of the SEC of
+// its visible neighbourhood (paper §3.1), and the congregation analysis
+// (§5, Fig. 16) uses the smallest bounding circle Xi of the hull.
+#pragma once
+
+#include <vector>
+
+#include "geometry/circle.hpp"
+#include "geometry/vec2.hpp"
+
+namespace cohesion::geom {
+
+/// Smallest circle enclosing all `points`. Expected O(n) after an internal
+/// deterministic shuffle (seeded; results are reproducible). Empty input
+/// yields a zero circle at the origin.
+Circle smallest_enclosing_circle(std::vector<Vec2> points);
+
+/// True iff circle `c` encloses all points (closed, tolerance eps).
+bool encloses(const Circle& c, const std::vector<Vec2>& points, double eps = 1e-7);
+
+}  // namespace cohesion::geom

@@ -1,0 +1,89 @@
+// Two-dimensional Euclidean vectors and points.
+//
+// The simulation treats robots as dimensionless points in R^2 (paper, §2.1);
+// Vec2 is the common currency of every other module.
+#pragma once
+
+#include <cmath>
+#include <iosfwd>
+#include <limits>
+
+namespace cohesion::geom {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator-() const { return {-x, -y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2& operator+=(Vec2 o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr Vec2& operator-=(Vec2 o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  constexpr Vec2& operator*=(double s) {
+    x *= s;
+    y *= s;
+    return *this;
+  }
+  constexpr bool operator==(const Vec2&) const = default;
+
+  [[nodiscard]] constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }
+  /// z-component of the 3D cross product; >0 iff `o` is counter-clockwise of *this.
+  [[nodiscard]] constexpr double cross(Vec2 o) const { return x * o.y - y * o.x; }
+  [[nodiscard]] constexpr double norm2() const { return x * x + y * y; }
+  [[nodiscard]] double norm() const { return std::hypot(x, y); }
+  [[nodiscard]] double distance_to(Vec2 o) const { return (*this - o).norm(); }
+  [[nodiscard]] constexpr double distance2_to(Vec2 o) const { return (*this - o).norm2(); }
+
+  /// Unit vector in the same direction. Undefined for the zero vector
+  /// (returns {0,0} so callers can branch on it without UB).
+  [[nodiscard]] Vec2 normalized() const {
+    const double n = norm();
+    if (n == 0.0) return {0.0, 0.0};
+    return {x / n, y / n};
+  }
+
+  /// Angle of the vector in (-pi, pi], measured from the +x axis.
+  [[nodiscard]] double angle() const { return std::atan2(y, x); }
+
+  /// Counter-clockwise rotation by `theta` radians.
+  [[nodiscard]] Vec2 rotated(double theta) const {
+    const double c = std::cos(theta), s = std::sin(theta);
+    return {c * x - s * y, s * x + c * y};
+  }
+
+  /// Perpendicular vector (counter-clockwise quarter turn).
+  [[nodiscard]] constexpr Vec2 perp() const { return {-y, x}; }
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) { return v * s; }
+
+/// Linear interpolation: a at t=0, b at t=1.
+constexpr Vec2 lerp(Vec2 a, Vec2 b, double t) { return a + (b - a) * t; }
+
+/// Midpoint of the segment ab.
+constexpr Vec2 midpoint(Vec2 a, Vec2 b) { return (a + b) * 0.5; }
+
+/// Unit vector at angle theta.
+inline Vec2 unit(double theta) { return {std::cos(theta), std::sin(theta)}; }
+
+/// Component-wise approximate equality within absolute tolerance `eps`.
+inline bool almost_equal(Vec2 a, Vec2 b, double eps = 1e-9) {
+  return std::abs(a.x - b.x) <= eps && std::abs(a.y - b.y) <= eps;
+}
+
+std::ostream& operator<<(std::ostream& os, Vec2 v);
+
+}  // namespace cohesion::geom

@@ -1,0 +1,53 @@
+// Three-dimensional vectors — substrate for the paper's §6.3.2 extension
+// of the convergence algorithm to R^3.
+#pragma once
+
+#include <cmath>
+
+namespace cohesion::geom {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr Vec3 operator+(Vec3 o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(Vec3 o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3& operator+=(Vec3 o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  constexpr bool operator==(const Vec3&) const = default;
+
+  [[nodiscard]] constexpr double dot(Vec3 o) const { return x * o.x + y * o.y + z * o.z; }
+  [[nodiscard]] constexpr Vec3 cross(Vec3 o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  [[nodiscard]] constexpr double norm2() const { return x * x + y * y + z * z; }
+  [[nodiscard]] double norm() const { return std::sqrt(norm2()); }
+  [[nodiscard]] double distance_to(Vec3 o) const { return (*this - o).norm(); }
+
+  [[nodiscard]] Vec3 normalized() const {
+    const double n = norm();
+    if (n == 0.0) return {0.0, 0.0, 0.0};
+    return *this / n;
+  }
+};
+
+constexpr Vec3 operator*(double s, Vec3 v) { return v * s; }
+
+constexpr Vec3 lerp3(Vec3 a, Vec3 b, double t) { return a + (b - a) * t; }
+
+inline bool almost_equal(Vec3 a, Vec3 b, double eps = 1e-9) {
+  return std::abs(a.x - b.x) <= eps && std::abs(a.y - b.y) <= eps && std::abs(a.z - b.z) <= eps;
+}
+
+}  // namespace cohesion::geom

@@ -1,0 +1,114 @@
+#include "metrics/configurations.hpp"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+#include "core/visibility.hpp"
+#include "geometry/angles.hpp"
+
+namespace cohesion::metrics {
+
+using geom::Vec2;
+
+std::vector<Vec2> line_configuration(std::size_t n, double spacing) {
+  std::vector<Vec2> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = {spacing * static_cast<double>(i), 0.0};
+  return out;
+}
+
+std::vector<Vec2> grid_configuration(std::size_t n, double spacing) {
+  const auto cols = static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(n))));
+  std::vector<Vec2> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back({spacing * static_cast<double>(i % cols),
+                   spacing * static_cast<double>(i / cols)});
+  }
+  return out;
+}
+
+std::vector<Vec2> regular_polygon_configuration(std::size_t n, double side) {
+  if (n < 3) throw std::invalid_argument("regular_polygon_configuration: n < 3");
+  const double r = side / (2.0 * std::sin(geom::kPi / static_cast<double>(n)));
+  std::vector<Vec2> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = geom::unit(geom::kTwoPi * static_cast<double>(i) / static_cast<double>(n)) * r;
+  }
+  return out;
+}
+
+std::vector<Vec2> random_connected_configuration(std::size_t n, double world_radius, double v,
+                                                 std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coord(-world_radius, world_radius);
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    std::vector<Vec2> pts;
+    pts.reserve(n);
+    while (pts.size() < n) {
+      const Vec2 p{coord(rng), coord(rng)};
+      if (p.norm() <= world_radius) pts.push_back(p);
+    }
+    if (core::VisibilityGraph(pts, v).connected()) return pts;
+  }
+  throw std::runtime_error(
+      "random_connected_configuration: could not generate a connected configuration; "
+      "decrease world_radius or increase v");
+}
+
+std::vector<Vec2> two_cluster_configuration(std::size_t n, std::size_t bridge, double v,
+                                            std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const double gap = v * static_cast<double>(bridge + 1) * 0.95;
+  std::uniform_real_distribution<double> jitter(-v / 4.0, v / 4.0);
+  std::vector<Vec2> out;
+  const std::size_t half = (n > bridge ? n - bridge : 0) / 2;
+  for (std::size_t i = 0; i < half; ++i) out.push_back({jitter(rng), jitter(rng)});
+  for (std::size_t i = 0; i < half; ++i) out.push_back({gap + jitter(rng), jitter(rng)});
+  for (std::size_t i = 1; out.size() < n; ++i) {
+    out.push_back({gap * static_cast<double>(i) / static_cast<double>(bridge + 1), 0.0});
+  }
+  if (!core::VisibilityGraph(out, v).connected()) {
+    // Tighten the bridge until connected (deterministic fallback).
+    return two_cluster_configuration(n, bridge + 1, v, seed + 1);
+  }
+  return out;
+}
+
+SpiralConfiguration spiral_configuration(double psi, double edge_scale) {
+  if (psi <= 0.0 || psi >= 0.5) {
+    throw std::invalid_argument("spiral_configuration: psi must be in (0, 0.5)");
+  }
+  SpiralConfiguration cfg;
+  cfg.psi = psi;
+  const Vec2 a{0.0, 0.0};
+  const Vec2 c{-1.0 / std::sqrt(2.0), -1.0 / std::sqrt(2.0)};
+  const Vec2 b{1.0, 0.0};
+  cfg.positions = {a, c, b};
+
+  // Grow the tail: P_i is at unit distance from P_{i-1}; the turn angle
+  // between the chord A->P_{i-1} and the edge P_{i-1}->P_i is pi - psi on
+  // the ccw side (i.e. the edge deviates by psi from the extension of the
+  // chord). Stop when the chord has swept 3*pi/8 from A->B.
+  Vec2 prev = b;
+  const double target = 3.0 * geom::kPi / 8.0;
+  double chord_angle = 0.0;  // angle of A->prev
+  while (chord_angle < target) {
+    const double edge_dir = chord_angle + psi;  // deviate ccw by psi from the chord
+    const Vec2 next = prev + geom::unit(edge_dir);
+    cfg.positions.push_back(next);
+    prev = next;
+    chord_angle = (prev - a).angle();
+    if (cfg.positions.size() > 2'000'000) {
+      throw std::runtime_error("spiral_configuration: tail too long; increase psi");
+    }
+  }
+  cfg.total_chord_angle = chord_angle;
+
+  if (edge_scale != 1.0) {
+    for (Vec2& p : cfg.positions) p *= edge_scale;
+  }
+  return cfg;
+}
+
+}  // namespace cohesion::metrics

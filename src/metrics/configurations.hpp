@@ -1,0 +1,49 @@
+// Initial-configuration generators for experiments and tests.
+//
+// All generators produce configurations whose visibility graph at radius
+// `v` is connected (the paper's standing assumption), unless noted.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/vec2.hpp"
+
+namespace cohesion::metrics {
+
+/// `n` robots on a line with spacing `spacing` (connected iff spacing <= v).
+std::vector<geom::Vec2> line_configuration(std::size_t n, double spacing);
+
+/// Square-ish grid with the given spacing.
+std::vector<geom::Vec2> grid_configuration(std::size_t n, double spacing);
+
+/// Regular n-gon with the given side length (the frozen configuration of the
+/// paper's angle-error impossibility argument, §6.1).
+std::vector<geom::Vec2> regular_polygon_configuration(std::size_t n, double side);
+
+/// Random points in a disk of radius `world_radius`, resampled until the
+/// visibility graph at `v` is connected. Deterministic in `seed`.
+std::vector<geom::Vec2> random_connected_configuration(std::size_t n, double world_radius,
+                                                       double v, std::uint64_t seed);
+
+/// Two dense clusters of n/2 robots bridged by a chain of `bridge` robots at
+/// visibility-range spacing — stresses connectivity preservation.
+std::vector<geom::Vec2> two_cluster_configuration(std::size_t n, std::size_t bridge, double v,
+                                                  std::uint64_t seed);
+
+/// The Section-7 discrete spiral: A at the origin, C at (-1/sqrt2,-1/sqrt2),
+/// B = P0 at (1, 0), then P_1 ... P_{n-3} with unit edges, each turning by
+/// `psi` relative to the chord from A (paper §7.1, Fig. 19). The count n is
+/// chosen so that the angle between chords A-P0 and A-P_{n-3} reaches
+/// 3*pi/8. All edge lengths are scaled by `edge_scale` (set slightly below
+/// the visibility threshold so that flattening drift keeps pairs visible).
+struct SpiralConfiguration {
+  std::vector<geom::Vec2> positions;  ///< [0]=A, [1]=C, [2]=B=P0, [3..]=P1..
+  std::size_t chain_begin = 2;        ///< index of B
+  double psi = 0.0;
+  double total_chord_angle = 0.0;     ///< achieved angle between A-P0 and A-P_last
+};
+
+SpiralConfiguration spiral_configuration(double psi, double edge_scale = 1.0);
+
+}  // namespace cohesion::metrics

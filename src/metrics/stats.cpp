@@ -1,0 +1,64 @@
+#include "metrics/stats.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/visibility.hpp"
+#include "geometry/convex_hull.hpp"
+#include "geometry/smallest_enclosing_circle.hpp"
+
+namespace cohesion::metrics {
+
+using geom::Vec2;
+
+ConfigurationStats configuration_stats(const std::vector<Vec2>& positions, double v) {
+  ConfigurationStats s;
+  const auto hull = geom::convex_hull(positions);
+  s.diameter = geom::hull_diameter(hull);
+  s.hull_perimeter = geom::polygon_perimeter(hull);
+  s.sec_radius = geom::smallest_enclosing_circle(positions).radius;
+  s.min_pairwise = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    for (std::size_t j = i + 1; j < positions.size(); ++j) {
+      s.min_pairwise = std::min(s.min_pairwise, positions[i].distance_to(positions[j]));
+    }
+  }
+  if (positions.size() < 2) s.min_pairwise = 0.0;
+  s.connected = core::VisibilityGraph(positions, v).connected();
+  return s;
+}
+
+std::vector<ConfigurationStats> stats_over_time(const core::Trace& trace,
+                                                const std::vector<core::Time>& times, double v) {
+  std::vector<ConfigurationStats> out;
+  out.reserve(times.size());
+  for (const core::Time t : times) out.push_back(configuration_stats(trace.configuration(t), v));
+  return out;
+}
+
+ConvergenceReport analyze(const core::Trace& trace, double v, double epsilon) {
+  ConvergenceReport rep;
+  rep.activations = trace.records().size();
+  const auto& initial = trace.initial_configuration();
+  rep.initial_diameter = geom::set_diameter(initial);
+
+  std::vector<core::Time> samples = trace.round_boundaries();
+  samples.push_back(trace.end_time() + 1.0);
+  rep.rounds = samples.size() >= 2 ? samples.size() - 2 : 0;
+
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const auto cfg = trace.configuration(samples[i]);
+    const double diam = geom::set_diameter(cfg);
+    if (rep.rounds_to_halve == 0 && i > 0 && diam <= rep.initial_diameter / 2.0) {
+      rep.rounds_to_halve = i;
+    }
+    const double stretch = core::worst_initial_pair_stretch(initial, cfg, v);
+    rep.worst_stretch = std::max(rep.worst_stretch, stretch);
+    if (stretch > 1.0 + 1e-9) rep.cohesive = false;
+  }
+  rep.final_diameter = geom::set_diameter(trace.configuration(trace.end_time() + 1.0));
+  rep.converged = rep.final_diameter <= epsilon;
+  return rep;
+}
+
+}  // namespace cohesion::metrics

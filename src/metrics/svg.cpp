@@ -1,0 +1,126 @@
+#include "metrics/svg.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "core/visibility.hpp"
+#include "geometry/minbox.hpp"
+
+namespace cohesion::metrics {
+
+using geom::Vec2;
+
+namespace {
+
+/// Affine map from world coordinates to SVG pixel coordinates (y flipped).
+class Viewport {
+ public:
+  Viewport(const geom::MinBox& box, const SvgStyle& style) {
+    const double w = std::max({box.width(), box.height(), 1e-9});
+    scale_ = (style.canvas - 2.0 * style.margin) / w;
+    // Centre the data box in the canvas.
+    const Vec2 c = box.center();
+    offset_x_ = style.canvas / 2.0 - c.x * scale_;
+    offset_y_ = style.canvas / 2.0 + c.y * scale_;
+  }
+
+  [[nodiscard]] double x(double wx) const { return offset_x_ + wx * scale_; }
+  [[nodiscard]] double y(double wy) const { return offset_y_ - wy * scale_; }
+  [[nodiscard]] double len(double w) const { return w * scale_; }
+
+ private:
+  double scale_ = 1.0;
+  double offset_x_ = 0.0;
+  double offset_y_ = 0.0;
+};
+
+void open_svg(std::ostringstream& out, const SvgStyle& style) {
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << style.canvas << "\" height=\""
+      << style.canvas << "\" viewBox=\"0 0 " << style.canvas << ' ' << style.canvas << "\">\n"
+      << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+}
+
+void draw_edges(std::ostringstream& out, const Viewport& vp,
+                const std::vector<Vec2>& positions, double v, const SvgStyle& style) {
+  const core::VisibilityGraph g(positions, v);
+  for (const auto& [a, b] : g.edges()) {
+    out << "<line x1=\"" << vp.x(positions[a].x) << "\" y1=\"" << vp.y(positions[a].y)
+        << "\" x2=\"" << vp.x(positions[b].x) << "\" y2=\"" << vp.y(positions[b].y)
+        << "\" stroke=\"" << style.edge_color << "\" stroke-width=\"1\"/>\n";
+  }
+}
+
+void draw_robots(std::ostringstream& out, const Viewport& vp,
+                 const std::vector<Vec2>& positions, const SvgStyle& style, bool filled) {
+  for (const Vec2 p : positions) {
+    out << "<circle cx=\"" << vp.x(p.x) << "\" cy=\"" << vp.y(p.y) << "\" r=\""
+        << style.robot_radius << "\" ";
+    if (filled) {
+      out << "fill=\"" << style.robot_color << "\"";
+    } else {
+      out << "fill=\"none\" stroke=\"" << style.robot_color << "\" stroke-width=\"1.2\"";
+    }
+    out << "/>\n";
+  }
+}
+
+}  // namespace
+
+std::string render_configuration(const std::vector<Vec2>& positions, double v,
+                                 const SvgStyle& style) {
+  std::ostringstream out;
+  open_svg(out, style);
+  const Viewport vp(geom::minbox(positions), style);
+  if (style.draw_visibility_disks) {
+    for (const Vec2 p : positions) {
+      out << "<circle cx=\"" << vp.x(p.x) << "\" cy=\"" << vp.y(p.y) << "\" r=\"" << vp.len(v)
+          << "\" fill=\"none\" stroke=\"#eef1f4\" stroke-width=\"1\"/>\n";
+    }
+  }
+  if (style.draw_visibility_edges) draw_edges(out, vp, positions, v, style);
+  draw_robots(out, vp, positions, style, /*filled=*/true);
+  out << "</svg>\n";
+  return out.str();
+}
+
+std::string render_trace(const core::Trace& trace, double v, std::size_t samples,
+                         const SvgStyle& style) {
+  const auto& initial = trace.initial_configuration();
+  const double end = trace.end_time() + 1.0;
+  const auto final_cfg = trace.configuration(end);
+
+  // Bounding box over initial + final (trajectories stay in the initial
+  // hull by the hull-diminishing property, but be safe and include both).
+  std::vector<Vec2> all = initial;
+  all.insert(all.end(), final_cfg.begin(), final_cfg.end());
+  std::ostringstream out;
+  open_svg(out, style);
+  const Viewport vp(geom::minbox(all), style);
+
+  if (style.draw_visibility_edges) draw_edges(out, vp, initial, v, style);
+
+  // Trajectories.
+  for (core::RobotId r = 0; r < trace.robot_count(); ++r) {
+    out << "<polyline fill=\"none\" stroke=\"" << style.trajectory_color
+        << "\" stroke-width=\"1\" points=\"";
+    for (std::size_t s = 0; s <= samples; ++s) {
+      const double t = end * static_cast<double>(s) / static_cast<double>(samples);
+      const Vec2 p = trace.position(r, t);
+      out << vp.x(p.x) << ',' << vp.y(p.y) << ' ';
+    }
+    out << "\"/>\n";
+  }
+
+  draw_robots(out, vp, initial, style, /*filled=*/false);
+  draw_robots(out, vp, final_cfg, style, /*filled=*/true);
+  out << "</svg>\n";
+  return out.str();
+}
+
+void write_svg(const std::string& path, const std::string& svg) {
+  std::ofstream f(path);
+  f << svg;
+}
+
+}  // namespace cohesion::metrics

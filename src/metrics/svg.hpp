@@ -1,0 +1,36 @@
+// Minimal SVG rendering of configurations, visibility graphs and
+// trajectories — for inspecting runs and for the figures the examples emit.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/trace.hpp"
+#include "geometry/vec2.hpp"
+
+namespace cohesion::metrics {
+
+struct SvgStyle {
+  double canvas = 720.0;        ///< output square size in px
+  double margin = 24.0;         ///< px margin around the data bounding box
+  double robot_radius = 3.5;    ///< px
+  bool draw_visibility_edges = true;
+  bool draw_visibility_disks = false;  ///< faint V-disks around robots
+  std::string robot_color = "#1f6feb";
+  std::string edge_color = "#c0c7cf";
+  std::string trajectory_color = "#d29922";
+};
+
+/// Render a single configuration (with visibility graph at radius v).
+std::string render_configuration(const std::vector<geom::Vec2>& positions, double v,
+                                 const SvgStyle& style = {});
+
+/// Render a whole run: initial configuration (hollow), final configuration
+/// (filled), and per-robot trajectories sampled from the trace.
+std::string render_trace(const core::Trace& trace, double v, std::size_t samples = 200,
+                         const SvgStyle& style = {});
+
+/// Write an SVG string to a file (convenience).
+void write_svg(const std::string& path, const std::string& svg);
+
+}  // namespace cohesion::metrics

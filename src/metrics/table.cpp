@@ -1,0 +1,42 @@
+#include "metrics/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+
+namespace cohesion::metrics {
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << "  " << std::setw(static_cast<int>(widths[c])) << (c < row.size() ? row[c] : "");
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = 2;
+  for (const auto w : widths) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  auto join = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) f << ',';
+      f << row[c];
+    }
+    f << '\n';
+  };
+  join(headers_);
+  for (const auto& row : rows_) join(row);
+}
+
+}  // namespace cohesion::metrics

@@ -1,0 +1,40 @@
+// Minimal fixed-width table printer for the benchmark harness, so every
+// bench emits readable paper-style rows, plus a CSV writer for plotting.
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace cohesion::metrics {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  template <typename... Ts>
+  void add_row(const Ts&... cells) {
+    std::vector<std::string> row;
+    (row.push_back(to_cell(cells)), ...);
+    rows_.push_back(std::move(row));
+  }
+
+  void print(std::ostream& os = std::cout) const;
+  void write_csv(const std::string& path) const;
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& value) {
+    std::ostringstream ss;
+    ss.precision(6);
+    ss << value;
+    return ss.str();
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cohesion::metrics

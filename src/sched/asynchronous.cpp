@@ -1,0 +1,163 @@
+#include "sched/asynchronous.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace cohesion::sched {
+
+using core::Activation;
+using core::RobotId;
+using core::SimulationView;
+
+KAsyncScheduler::KAsyncScheduler(std::size_t robot_count) : KAsyncScheduler(robot_count, Params{}) {}
+
+KAsyncScheduler::KAsyncScheduler(std::size_t robot_count, Params params)
+    : n_(robot_count), params_(params), rng_(params.seed), next_ready_(robot_count, 0.0) {
+  if (robot_count == 0) throw std::invalid_argument("KAsyncScheduler: no robots");
+  if (params.k == 0) throw std::invalid_argument("KAsyncScheduler: k must be >= 1");
+  // Stagger initial looks so intervals overlap from the start.
+  std::uniform_real_distribution<double> jitter(0.0, params.min_duration);
+  for (auto& t : next_ready_) t = jitter(rng_);
+}
+
+std::optional<Activation> KAsyncScheduler::next(const SimulationView& view) {
+  // Pick the robot with the earliest permissible look time (jittered to vary
+  // the interleaving), then enforce the k-bound by postponement.
+  const double frontier = view.frontier();
+  RobotId best = 0;
+  double best_t = std::numeric_limits<double>::infinity();
+  std::uniform_real_distribution<double> tie(0.0, 1e-6);
+  for (RobotId r = 0; r < n_; ++r) {
+    const double t = std::max(next_ready_[r], frontier) + tie(rng_);
+    if (t < best_t) {
+      best_t = t;
+      best = r;
+    }
+  }
+
+  double look = std::max(next_ready_[best], frontier);
+  if (params_.k != static_cast<std::size_t>(-1)) {
+    bool moved = true;
+    while (moved) {
+      moved = false;
+      for (const Committed& c : open_) {
+        if (c.robot == best) continue;
+        if (look > c.start + 1e-12 && look < c.end - 1e-12 && c.looks_inside[best] >= params_.k) {
+          look = c.end;  // postpone past the saturated interval
+          moved = true;
+        }
+      }
+    }
+  }
+
+  std::uniform_real_distribution<double> dur(params_.min_duration, params_.max_duration);
+  std::uniform_real_distribution<double> gap(params_.min_gap, params_.max_gap);
+  std::uniform_real_distribution<double> compute_frac(0.1, 0.5);
+  std::uniform_real_distribution<double> frac(params_.xi, 1.0);
+
+  const double duration = dur(rng_);
+  Activation a;
+  a.robot = best;
+  a.t_look = look;
+  a.t_move_start = look + compute_frac(rng_) * duration;
+  a.t_move_end = look + duration;
+  a.realized_fraction = params_.xi >= 1.0 ? 1.0 : frac(rng_);
+
+  // Book-keeping: count this Look inside every open foreign interval, then
+  // register the new interval and prune closed ones.
+  for (Committed& c : open_) {
+    if (c.robot != best && look > c.start + 1e-12 && look < c.end - 1e-12) {
+      ++c.looks_inside[best];
+    }
+  }
+  open_.push_back({best, a.t_look, a.t_move_end, std::vector<std::size_t>(n_, 0)});
+  std::erase_if(open_, [&](const Committed& c) { return c.end <= look + 1e-12; });
+
+  next_ready_[best] = a.t_move_end + gap(rng_);
+  return a;
+}
+
+KNestAScheduler::KNestAScheduler(std::size_t robot_count) : KNestAScheduler(robot_count, Params{}) {}
+
+KNestAScheduler::KNestAScheduler(std::size_t robot_count, Params params)
+    : n_(robot_count), params_(params), rng_(params.seed) {
+  if (robot_count == 0) throw std::invalid_argument("KNestAScheduler: no robots");
+  if (params.k == 0) throw std::invalid_argument("KNestAScheduler: k must be >= 1");
+  plan_round();
+}
+
+void KNestAScheduler::plan_round() {
+  const double t0 = static_cast<double>(round_);
+  std::vector<RobotId> order(n_);
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng_);
+  std::uniform_real_distribution<double> frac(params_.xi, 1.0);
+
+  std::vector<Activation> acts;
+  const std::size_t pairs = n_ / 2;
+  // Outer robots (and a possible leftover) span the whole round; equal
+  // intervals are mutually nested.
+  auto outer_activation = [&](RobotId r) {
+    Activation a;
+    a.robot = r;
+    a.t_look = t0;
+    a.t_move_start = t0 + 0.4;
+    a.t_move_end = t0 + 1.0;
+    a.realized_fraction = params_.xi >= 1.0 ? 1.0 : frac(rng_);
+    return a;
+  };
+  for (std::size_t p = 0; p < pairs; ++p) acts.push_back(outer_activation(order[2 * p]));
+  if (n_ % 2 == 1) acts.push_back(outer_activation(order[n_ - 1]));
+
+  // Inner robots: k sequential activations inside a pair-private sub-slot of
+  // (t0 + 0.05, t0 + 0.95); sub-slots are pairwise disjoint so all inner
+  // intervals are disjoint from each other and strictly nested in every
+  // outer interval.
+  if (pairs > 0) {
+    const double usable = 0.9;
+    const double slot = usable / static_cast<double>(pairs);
+    for (std::size_t p = 0; p < pairs; ++p) {
+      const RobotId inner = order[2 * p + 1];
+      const double s0 = t0 + 0.05 + slot * static_cast<double>(p);
+      const double each = slot / static_cast<double>(params_.k);
+      for (std::size_t i = 0; i < params_.k; ++i) {
+        Activation a;
+        a.robot = inner;
+        a.t_look = s0 + each * static_cast<double>(i) + 0.05 * each;
+        a.t_move_start = a.t_look + 0.3 * each;
+        a.t_move_end = a.t_look + 0.8 * each;
+        a.realized_fraction = params_.xi >= 1.0 ? 1.0 : frac(rng_);
+        acts.push_back(a);
+      }
+    }
+  }
+
+  std::sort(acts.begin(), acts.end(),
+            [](const Activation& a, const Activation& b) { return a.t_look < b.t_look; });
+  pending_.assign(acts.begin(), acts.end());
+  ++round_;
+}
+
+std::optional<Activation> KNestAScheduler::next(const SimulationView&) {
+  if (pending_.empty()) plan_round();
+  Activation a = pending_.front();
+  pending_.pop_front();
+  return a;
+}
+
+ScriptedScheduler::ScriptedScheduler(std::vector<Activation> script) : script_(std::move(script)) {
+  if (!std::is_sorted(script_.begin(), script_.end(), [](const Activation& a, const Activation& b) {
+        return a.t_look < b.t_look;
+      })) {
+    throw std::invalid_argument("ScriptedScheduler: script must be sorted by t_look");
+  }
+}
+
+std::optional<Activation> ScriptedScheduler::next(const SimulationView&) {
+  if (cursor_ == script_.size()) return std::nullopt;
+  return script_[cursor_++];
+}
+
+}  // namespace cohesion::sched

@@ -1,0 +1,91 @@
+// Asynchronous schedulers (paper §2.3.1, Fig. 2).
+//
+//  * KAsyncScheduler — randomized Async with the k-bound enforced *online*:
+//    an activation of Y is postponed past the end of any open interval of X
+//    that already contains k Looks of Y. k = SIZE_MAX gives unrestricted
+//    Async.
+//  * KNestAScheduler — k-NestA: rounds of pair-blocks; the outer robot's
+//    interval spans the round, the inner robot performs up to k activations
+//    nested inside a sub-slot, sub-slots pairwise disjoint. Roles rotate for
+//    fairness.
+//  * ScriptedScheduler — replays an explicit activation list (used by the
+//    Fig. 4 and Section-7 counterexamples).
+#pragma once
+
+#include <deque>
+#include <random>
+#include <vector>
+
+#include "core/scheduler.hpp"
+
+namespace cohesion::sched {
+
+class KAsyncScheduler final : public core::Scheduler {
+ public:
+  struct Params {
+    std::size_t k = 1;                ///< asynchrony bound (SIZE_MAX = Async)
+    double min_duration = 0.2;        ///< min activity-interval length
+    double max_duration = 3.0;        ///< max activity-interval length
+    double min_gap = 0.05;            ///< min inactivity between own intervals
+    double max_gap = 1.0;             ///< max inactivity (fairness bound)
+    double xi = 1.0;                  ///< min realized move fraction
+    std::uint64_t seed = 11;
+  };
+
+  explicit KAsyncScheduler(std::size_t robot_count);
+  KAsyncScheduler(std::size_t robot_count, Params params);
+
+  std::optional<core::Activation> next(const core::SimulationView& view) override;
+  [[nodiscard]] std::string_view name() const override { return "k-Async"; }
+
+ private:
+  struct Committed {
+    core::RobotId robot;
+    double start, end;
+    std::vector<std::size_t> looks_inside;  // per-robot Look counts in (start, end)
+  };
+
+  std::size_t n_;
+  Params params_;
+  std::mt19937_64 rng_;
+  std::vector<double> next_ready_;     // earliest allowed next look per robot
+  std::vector<Committed> open_;        // committed intervals that may still nest looks
+};
+
+class KNestAScheduler final : public core::Scheduler {
+ public:
+  struct Params {
+    std::size_t k = 2;     ///< nested activations per outer interval
+    double xi = 1.0;
+    std::uint64_t seed = 13;
+  };
+
+  explicit KNestAScheduler(std::size_t robot_count);
+  KNestAScheduler(std::size_t robot_count, Params params);
+
+  std::optional<core::Activation> next(const core::SimulationView& view) override;
+  [[nodiscard]] std::string_view name() const override { return "k-NestA"; }
+
+ private:
+  void plan_round();
+
+  std::size_t n_;
+  Params params_;
+  std::mt19937_64 rng_;
+  std::size_t round_ = 0;
+  std::deque<core::Activation> pending_;
+};
+
+class ScriptedScheduler final : public core::Scheduler {
+ public:
+  explicit ScriptedScheduler(std::vector<core::Activation> script);
+
+  std::optional<core::Activation> next(const core::SimulationView& view) override;
+  [[nodiscard]] std::string_view name() const override { return "scripted"; }
+
+ private:
+  std::vector<core::Activation> script_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace cohesion::sched

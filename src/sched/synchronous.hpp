@@ -1,0 +1,57 @@
+// Synchronous schedulers: FSync (all robots every round) and SSync
+// (adversarial/random subsets, fairness-bounded) — paper §2.3.1, Fig. 1.
+//
+// A round occupies one time unit: Look at the round start, Move within the
+// round, ending before the next round begins.
+#pragma once
+
+#include <random>
+
+#include "core/scheduler.hpp"
+
+namespace cohesion::sched {
+
+class FSyncScheduler final : public core::Scheduler {
+ public:
+  explicit FSyncScheduler(std::size_t robot_count);
+
+  std::optional<core::Activation> next(const core::SimulationView& view) override;
+  [[nodiscard]] std::string_view name() const override { return "FSync"; }
+
+ private:
+  std::size_t n_;
+  std::size_t round_ = 0;
+  std::size_t cursor_ = 0;  // next robot within the round
+};
+
+/// SSync with per-round independent activation probability `p`, plus a
+/// fairness window: a robot idle for `fairness_window` consecutive rounds is
+/// forcibly activated. Optionally truncates moves xi-rigidly.
+class SSyncScheduler final : public core::Scheduler {
+ public:
+  struct Params {
+    double activation_probability = 0.5;
+    std::size_t fairness_window = 8;  ///< max consecutive idle rounds
+    double xi = 1.0;                  ///< min realized fraction (1 = rigid)
+    std::uint64_t seed = 7;
+  };
+
+  explicit SSyncScheduler(std::size_t robot_count);
+  SSyncScheduler(std::size_t robot_count, Params params);
+
+  std::optional<core::Activation> next(const core::SimulationView& view) override;
+  [[nodiscard]] std::string_view name() const override { return "SSync"; }
+
+ private:
+  void plan_round();
+
+  std::size_t n_;
+  Params params_;
+  std::mt19937_64 rng_;
+  std::size_t round_ = 0;
+  std::vector<core::RobotId> active_;  // robots chosen for the current round
+  std::size_t cursor_ = 0;
+  std::vector<std::size_t> idle_rounds_;
+};
+
+}  // namespace cohesion::sched

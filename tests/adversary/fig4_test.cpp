@@ -1,0 +1,65 @@
+#include "adversary/fig4.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algo/kknps.hpp"
+#include "core/engine.hpp"
+#include "core/validators.hpp"
+#include "sched/asynchronous.hpp"
+
+namespace cohesion::adversary {
+namespace {
+
+TEST(Fig4Timeline, OneAsyncShape) {
+  const auto acts = fig4_timeline(Fig4Variant::kOneAsync);
+  ASSERT_EQ(acts.size(), 3u);
+  // Sorted by look time, X twice, Y once.
+  EXPECT_EQ(acts[0].robot, kFig4X);
+  EXPECT_EQ(acts[1].robot, kFig4Y);
+  EXPECT_EQ(acts[2].robot, kFig4X);
+  EXPECT_LE(acts[0].t_look, acts[1].t_look);
+  EXPECT_LE(acts[1].t_look, acts[2].t_look);
+}
+
+TEST(Fig4Timeline, TwoNestAShape) {
+  const auto acts = fig4_timeline(Fig4Variant::kTwoNestA);
+  ASSERT_EQ(acts.size(), 3u);
+  // Both X intervals nested inside Y's.
+  EXPECT_EQ(acts[0].robot, kFig4Y);
+  for (int i = 1; i < 3; ++i) {
+    EXPECT_GT(acts[i].t_look, acts[0].t_look);
+    EXPECT_LT(acts[i].t_move_end, acts[0].t_move_end);
+  }
+}
+
+class Fig4Search : public ::testing::TestWithParam<Fig4Variant> {};
+
+TEST_P(Fig4Search, AndoSeparatesKknpsDoesNot) {
+  const Fig4Result result = find_fig4_counterexample(GetParam(), 100000, 42);
+  ASSERT_FALSE(result.initial.empty());
+  // The headline claim of Fig. 4: unmodified Ando exceeds separation V...
+  EXPECT_TRUE(result.ando_separates)
+      << "best separation found: " << result.final_separation;
+  // ...while KKNPS under the same adversarial timeline preserves visibility.
+  EXPECT_FALSE(result.kknps_separates)
+      << "KKNPS separation: " << result.kknps_separation;
+  EXPECT_LE(result.kknps_separation, 1.0 + 1e-9);
+  // And the timeline really is 1-Async / 2-NestA.
+  EXPECT_TRUE(result.schedule_valid);
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, Fig4Search,
+                         ::testing::Values(Fig4Variant::kOneAsync, Fig4Variant::kTwoNestA),
+                         [](const auto& info) {
+                           return info.param == Fig4Variant::kOneAsync ? "OneAsync" : "TwoNestA";
+                         });
+
+TEST(Fig4Search, DeterministicGivenSeed) {
+  const Fig4Result a = find_fig4_counterexample(Fig4Variant::kOneAsync, 2000, 7);
+  const Fig4Result b = find_fig4_counterexample(Fig4Variant::kOneAsync, 2000, 7);
+  EXPECT_DOUBLE_EQ(a.final_separation, b.final_separation);
+  EXPECT_EQ(a.trials_used, b.trials_used);
+}
+
+}  // namespace
+}  // namespace cohesion::adversary

@@ -1,0 +1,50 @@
+#include "adversary/spiral.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/validators.hpp"
+
+namespace cohesion::adversary {
+namespace {
+
+TEST(SpiralAdversary, BreaksVisibilityUnderUnboundedNesting) {
+  // The Section-7 headline: an initially connected configuration is
+  // disconnected by an adversarial NestA scheduler of unbounded depth.
+  const SpiralExperimentResult r = run_spiral_experiment(/*psi=*/0.30, /*edge_scale=*/0.92);
+  EXPECT_TRUE(r.initially_connected);
+  EXPECT_TRUE(r.visibility_broken)
+      << "final |X_A X_B| = " << r.final_separation_ab << " (need > 1)";
+  EXPECT_GT(r.zeta, 0.1);  // X_A was forced to move a macroscopic distance
+  EXPECT_TRUE(r.schedule_nested);
+  // Unbounded asynchrony was genuinely used: many activations nested inside
+  // X_A's single activity interval.
+  EXPECT_GT(r.nesting_depth, 50u);
+}
+
+TEST(SpiralAdversary, ChainDriftIsOrderPsiSquared) {
+  // Paper §7.2.3: total change of |X_j A| during flattening is O(psi^2)
+  // (the bound proved there is 4 psi^2 per full flattening for the ideal
+  // collapse order; we verify a modest constant multiple).
+  const double psi = 0.30;
+  const SpiralExperimentResult r = run_spiral_experiment(psi, 0.92);
+  EXPECT_LE(r.max_chain_drift, 10.0 * psi * psi)
+      << "drift " << r.max_chain_drift;
+}
+
+TEST(SpiralAdversary, SmallerPsiSmallerDrift) {
+  const SpiralExperimentResult coarse = run_spiral_experiment(0.35, 0.92);
+  const SpiralExperimentResult fine = run_spiral_experiment(0.25, 0.92);
+  EXPECT_TRUE(coarse.visibility_broken);
+  EXPECT_TRUE(fine.visibility_broken);
+  EXPECT_LT(fine.max_chain_drift, coarse.max_chain_drift + 0.05);
+  EXPECT_GT(fine.robot_count, coarse.robot_count);  // smaller psi => longer tail
+}
+
+TEST(SpiralAdversary, FinalConfigurationDisconnected) {
+  const SpiralExperimentResult r = run_spiral_experiment(0.30, 0.92);
+  // The broken A-B edge separates the configuration (A and C on one side).
+  EXPECT_FALSE(r.finally_connected);
+}
+
+}  // namespace
+}  // namespace cohesion::adversary

@@ -1,0 +1,146 @@
+// Tests for the 3D generalization (paper §6.3.2).
+#include "algo/kknps3d.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace cohesion::algo {
+namespace {
+
+using geom::Vec3;
+
+TEST(MinNormPoint, SinglePoint) {
+  const Vec3 m = min_norm_point_in_hull({{1.0, 2.0, 2.0}});
+  EXPECT_TRUE(geom::almost_equal(m, {1.0, 2.0, 2.0}));
+}
+
+TEST(MinNormPoint, SegmentThroughOrigin) {
+  const Vec3 m = min_norm_point_in_hull({{-1.0, 0.0, 0.0}, {1.0, 0.0, 0.0}});
+  EXPECT_NEAR(m.norm(), 0.0, 1e-6);
+}
+
+TEST(MinNormPoint, SegmentOffset) {
+  // Hull = segment from (1,-1,0) to (1,1,0); min-norm point is (1,0,0).
+  const Vec3 m = min_norm_point_in_hull({{1.0, -1.0, 0.0}, {1.0, 1.0, 0.0}});
+  EXPECT_TRUE(geom::almost_equal(m, {1.0, 0.0, 0.0}, 1e-6));
+}
+
+TEST(MinNormPoint, TetrahedronContainingOrigin) {
+  const Vec3 m = min_norm_point_in_hull(
+      {{1.0, 1.0, 1.0}, {1.0, -1.0, -1.0}, {-1.0, 1.0, -1.0}, {-1.0, -1.0, 1.0}});
+  EXPECT_NEAR(m.norm(), 0.0, 1e-5);
+}
+
+TEST(MinNormPoint, OptimalityCondition) {
+  // For the min-norm point m: m . p >= |m|^2 for every hull generator p.
+  // Frank-Wolfe converges at O(1/t), so allow a small absolute slack; the
+  // destination rule is insensitive to this because near-zero witnesses are
+  // rejected by the chord test (t <= 0) rather than by |m| itself.
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Vec3> pts;
+    for (int i = 0; i < 6; ++i) pts.push_back({u(rng) + 0.5, u(rng), u(rng)});
+    const Vec3 m = min_norm_point_in_hull(pts, 8192);
+    for (const Vec3& p : pts) EXPECT_GE(m.dot(p), m.norm2() - 2e-3);
+  }
+}
+
+TEST(Kknps3d, EmptyStays) {
+  EXPECT_TRUE(geom::almost_equal(kknps3d_destination({}), {0.0, 0.0, 0.0}));
+}
+
+TEST(Kknps3d, SingleNeighbourMovesTowardIt) {
+  const Vec3 d = kknps3d_destination({{0.8, 0.0, 0.0}});
+  EXPECT_GT(d.x, 0.0);
+  EXPECT_NEAR(d.y, 0.0, 1e-12);
+  EXPECT_NEAR(d.z, 0.0, 1e-12);
+  EXPECT_LE(d.norm(), 0.8 / 8.0 + 1e-12);
+}
+
+TEST(Kknps3d, SurroundedStaysPut) {
+  // Distant neighbours at the vertices of a regular tetrahedron.
+  const std::vector<Vec3> n{{1.0, 1.0, 1.0}, {1.0, -1.0, -1.0}, {-1.0, 1.0, -1.0},
+                            {-1.0, -1.0, 1.0}};
+  EXPECT_TRUE(geom::almost_equal(kknps3d_destination(n), {0.0, 0.0, 0.0}, 1e-6));
+}
+
+TEST(Kknps3d, DestinationInsideEverySafeBall) {
+  std::mt19937_64 rng(4);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  std::uniform_real_distribution<double> rad(0.05, 1.0);
+  for (const std::size_t k : {1u, 2u, 4u}) {
+    for (int trial = 0; trial < 1000; ++trial) {
+      std::vector<Vec3> neighbours;
+      const int m = 1 + static_cast<int>(rng() % 8);
+      for (int i = 0; i < m; ++i) {
+        Vec3 dir{u(rng), u(rng), u(rng)};
+        if (dir.norm() < 1e-3) dir = {1.0, 0.0, 0.0};
+        neighbours.push_back(dir.normalized() * rad(rng));
+      }
+      const Vec3 dest = kknps3d_destination(neighbours, {.k = k});
+      double v_y = 0.0;
+      for (const Vec3& p : neighbours) v_y = std::max(v_y, p.norm());
+      const double r = v_y / (8.0 * static_cast<double>(k));
+      EXPECT_LE(dest.norm(), r + 1e-9);  // planar V/8 cap, scaled
+      for (const Vec3& p : neighbours) {
+        if (p.norm() > v_y / 2.0) {
+          const Vec3 center = p.normalized() * r;
+          EXPECT_LE(dest.distance_to(center), r + 1e-9);
+        }
+      }
+    }
+  }
+}
+
+TEST(Kknps3d, ConvergesOnCube) {
+  // Eight robots on a cube with edges within visibility range.
+  std::vector<Vec3> cube;
+  for (int i = 0; i < 8; ++i) {
+    cube.push_back({0.5 * (i & 1), 0.5 * ((i >> 1) & 1), 0.5 * ((i >> 2) & 1)});
+  }
+  const auto r = simulate_kknps3d(cube, 1.0, 1, 3000);
+  EXPECT_LE(r.final_diameter, 0.02);
+  EXPECT_LE(r.worst_initial_stretch, 1.0 + 1e-9);
+}
+
+TEST(Kknps3d, ConvergesOnRandomCloudSSync) {
+  std::mt19937_64 rng(9);
+  std::uniform_real_distribution<double> u(-0.6, 0.6);
+  std::vector<Vec3> cloud;
+  for (int i = 0; i < 16; ++i) cloud.push_back({u(rng), u(rng), u(rng)});
+  const auto r = simulate_kknps3d(cloud, 1.0, 2, 8000, /*ssync=*/true, /*seed=*/5);
+  EXPECT_LE(r.final_diameter, 0.05);
+  EXPECT_LE(r.worst_initial_stretch, 1.0 + 1e-9);
+}
+
+class Kknps3dSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Kknps3dSweep, ConvergesAndStaysCohesiveAcrossK) {
+  const std::size_t k = GetParam();
+  std::mt19937_64 rng(40 + k);
+  std::uniform_real_distribution<double> u(-0.5, 0.5);
+  std::vector<Vec3> cloud;
+  for (int i = 0; i < 12; ++i) cloud.push_back({u(rng), u(rng), u(rng)});
+  const auto r = simulate_kknps3d(cloud, 1.0, k, 4000 * k, /*ssync=*/true, /*seed=*/k);
+  EXPECT_LE(r.final_diameter, 0.05) << "k=" << k;
+  EXPECT_LE(r.worst_initial_stretch, 1.0 + 1e-9) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Kknps3dSweep, ::testing::Values(1, 2, 4),
+                         [](const auto& info) { return "k" + std::to_string(info.param); });
+
+TEST(Kknps3d, ChainCohesion) {
+  // A 3D chain at near-threshold spacing: cohesion is the hard part.
+  std::vector<Vec3> chain;
+  for (int i = 0; i < 8; ++i) {
+    chain.push_back({0.9 * i, 0.1 * (i % 2), 0.05 * (i % 3)});
+  }
+  const auto r = simulate_kknps3d(chain, 1.0, 1, 6000);
+  EXPECT_LE(r.worst_initial_stretch, 1.0 + 1e-9);
+  EXPECT_LE(r.final_diameter, 0.1);
+}
+
+}  // namespace
+}  // namespace cohesion::algo

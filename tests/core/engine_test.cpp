@@ -1,0 +1,196 @@
+#include "core/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algo/baselines.hpp"
+#include "algo/kknps.hpp"
+#include "sched/asynchronous.hpp"
+#include "sched/synchronous.hpp"
+
+namespace cohesion::core {
+namespace {
+
+using geom::Vec2;
+
+/// Algorithm that always moves one unit toward the first perceived robot
+/// (or stays if none) — handy for exercising engine mechanics.
+class ChaseFirst final : public Algorithm {
+ public:
+  [[nodiscard]] Vec2 compute(const Snapshot& s) const override {
+    if (s.empty()) return {0.0, 0.0};
+    return s.neighbours[0].position * 0.5;
+  }
+  [[nodiscard]] std::string_view name() const override { return "ChaseFirst"; }
+};
+
+Activation act(RobotId r, Time look, Time ms, Time me, double frac = 1.0) {
+  return Activation{r, look, ms, me, frac};
+}
+
+EngineConfig exact_config(double v = 1.0) {
+  EngineConfig c;
+  c.visibility.radius = v;
+  c.error.random_rotation = false;
+  return c;
+}
+
+TEST(Engine, EmptyConfigurationThrows) {
+  const algo::NullAlgorithm null;
+  sched::ScriptedScheduler s({});
+  EXPECT_THROW(Engine({}, null, s, {}), std::invalid_argument);
+}
+
+TEST(Engine, NilAlgorithmNeverMoves) {
+  const algo::NullAlgorithm null;
+  sched::FSyncScheduler sched(3);
+  Engine engine({{0.0, 0.0}, {0.5, 0.0}, {1.0, 0.0}}, null, sched, exact_config());
+  engine.run(30);
+  const auto cfg = engine.current_configuration();
+  EXPECT_TRUE(geom::almost_equal(cfg[0], {0.0, 0.0}));
+  EXPECT_TRUE(geom::almost_equal(cfg[2], {1.0, 0.0}));
+}
+
+TEST(Engine, ScriptedMoveExecutes) {
+  const ChaseFirst chase;
+  sched::ScriptedScheduler sched({act(0, 0.0, 0.1, 1.0)});
+  Engine engine({{0.0, 0.0}, {1.0, 0.0}}, chase, sched, exact_config(2.0));
+  EXPECT_TRUE(engine.step());
+  EXPECT_FALSE(engine.step());
+  // Robot 0 moved halfway to robot 1.
+  EXPECT_TRUE(geom::almost_equal(engine.current_configuration()[0], {0.5, 0.0}, 1e-9));
+}
+
+TEST(Engine, XiRigidTruncation) {
+  const ChaseFirst chase;
+  sched::ScriptedScheduler sched({act(0, 0.0, 0.1, 1.0, /*frac=*/0.5)});
+  Engine engine({{0.0, 0.0}, {1.0, 0.0}}, chase, sched, exact_config(2.0));
+  engine.run(10);
+  // Planned 0.5 toward neighbour, realized half of it.
+  EXPECT_TRUE(geom::almost_equal(engine.current_configuration()[0], {0.25, 0.0}, 1e-9));
+}
+
+TEST(Engine, VisibilityLimitsSnapshot) {
+  const ChaseFirst chase;
+  // Robot 1 is out of range of robot 0 (V = 1, distance 5): no move.
+  sched::ScriptedScheduler sched({act(0, 0.0, 0.1, 1.0)});
+  Engine engine({{0.0, 0.0}, {5.0, 0.0}}, chase, sched, exact_config(1.0));
+  engine.run(10);
+  EXPECT_TRUE(geom::almost_equal(engine.current_configuration()[0], {0.0, 0.0}));
+}
+
+TEST(Engine, OpenBallExcludesThreshold) {
+  const ChaseFirst chase;
+  EngineConfig cfg = exact_config(1.0);
+  cfg.visibility.open_ball = true;
+  sched::ScriptedScheduler sched({act(0, 0.0, 0.1, 1.0)});
+  Engine engine({{0.0, 0.0}, {1.0, 0.0}}, chase, sched, cfg);
+  engine.run(10);
+  EXPECT_TRUE(geom::almost_equal(engine.current_configuration()[0], {0.0, 0.0}));
+}
+
+TEST(Engine, PerRobotRadii) {
+  const ChaseFirst chase;
+  EngineConfig cfg = exact_config(1.0);
+  cfg.visibility.per_robot_radii = {3.0, 1.0};
+  // Robot 0 sees robot 1 (radius 3) and moves; robot 1 would not see 0.
+  sched::ScriptedScheduler sched({act(0, 0.0, 0.1, 1.0)});
+  Engine engine({{0.0, 0.0}, {2.0, 0.0}}, chase, sched, cfg);
+  engine.run(10);
+  EXPECT_TRUE(geom::almost_equal(engine.current_configuration()[0], {1.0, 0.0}, 1e-9));
+}
+
+TEST(Engine, MidMoveObservation) {
+  // Robot 1 looks while robot 0 is mid-move and sees the interpolated
+  // position — the crux of Async semantics.
+  const ChaseFirst chase;
+  sched::ScriptedScheduler sched({
+      act(0, 0.0, 0.0, 2.0),  // robot 0 moves from (0,0) to (0.5, 0) over [0,2]
+      act(1, 1.0, 1.1, 1.2),  // robot 1 looks at t=1: robot 0 is at (0.25, 0)
+  });
+  Engine engine({{0.0, 0.0}, {1.0, 0.0}}, chase, sched, exact_config(2.0));
+  engine.run(10);
+  const auto& recs = engine.trace().records();
+  ASSERT_EQ(recs.size(), 2u);
+  // Robot 1 planned to move halfway toward (0.25, 0) from (1, 0).
+  EXPECT_TRUE(geom::almost_equal(recs[1].planned, {0.625, 0.0}, 1e-9));
+}
+
+TEST(Engine, CrashedRobotStaysPut) {
+  const ChaseFirst chase;
+  sched::ScriptedScheduler sched({act(0, 0.0, 0.1, 1.0)});
+  Engine engine({{0.0, 0.0}, {1.0, 0.0}}, chase, sched, exact_config(2.0));
+  engine.crash(0);
+  engine.run(10);
+  EXPECT_TRUE(geom::almost_equal(engine.current_configuration()[0], {0.0, 0.0}));
+}
+
+TEST(Engine, RejectsOutOfOrderLooks) {
+  const algo::NullAlgorithm null;
+  sched::ScriptedScheduler sched({act(0, 5.0, 5.1, 6.0)});
+  Engine engine({{0.0, 0.0}}, null, sched, exact_config());
+  engine.run(1);
+  // Next proposal would violate the frontier: simulate via a fresh scripted
+  // scheduler pushed through the same engine is not possible, so check the
+  // overlapping-activation contract instead.
+  sched::ScriptedScheduler bad({act(0, 0.0, 0.1, 2.0), act(0, 1.0, 1.1, 3.0)});
+  Engine engine2({{0.0, 0.0}}, null, bad, exact_config());
+  EXPECT_TRUE(engine2.step());
+  EXPECT_THROW(engine2.step(), std::logic_error);
+}
+
+TEST(Engine, RejectsBadPhaseOrder) {
+  const algo::NullAlgorithm null;
+  sched::ScriptedScheduler bad({act(0, 1.0, 0.5, 2.0)});
+  Engine engine({{0.0, 0.0}}, null, bad, exact_config());
+  EXPECT_THROW(engine.step(), std::logic_error);
+}
+
+TEST(Engine, RejectsBadRealizedFraction) {
+  const algo::NullAlgorithm null;
+  sched::ScriptedScheduler bad({act(0, 0.0, 0.1, 1.0, 0.0)});
+  Engine engine({{0.0, 0.0}}, null, bad, exact_config());
+  EXPECT_THROW(engine.step(), std::logic_error);
+}
+
+TEST(Engine, PerceptionHookOverridesSnapshot) {
+  const ChaseFirst chase;
+  sched::ScriptedScheduler sched({act(0, 0.0, 0.1, 1.0)});
+  Engine engine({{0.0, 0.0}, {1.0, 0.0}}, chase, sched, exact_config(2.0));
+  engine.set_perception_hook([](RobotId, Time, const Snapshot&) {
+    Snapshot fake;
+    fake.neighbours.push_back({{0.0, 1.0}, false});
+    return fake;
+  });
+  engine.run(10);
+  EXPECT_TRUE(geom::almost_equal(engine.current_configuration()[0], {0.0, 0.5}, 1e-9));
+}
+
+TEST(Engine, RunUntilConvergedStopsEarly) {
+  const algo::KknpsAlgorithm kknps;
+  sched::FSyncScheduler sched(3);
+  Engine engine({{0.0, 0.0}, {0.4, 0.0}, {0.8, 0.0}}, kknps, sched, exact_config(1.0));
+  EXPECT_TRUE(engine.run_until_converged(1e-3, 200000, 16));
+  EXPECT_LE(engine.current_diameter(), 1e-3);
+}
+
+TEST(Engine, MultiplicityCollapsedWithoutDetection) {
+  // Two robots co-located: observer perceives a single robot.
+  const ChaseFirst chase;
+  sched::ScriptedScheduler sched({act(0, 0.0, 0.1, 1.0)});
+  Engine engine({{0.0, 0.0}, {1.0, 0.0}, {1.0, 0.0}}, chase, sched, exact_config(2.0));
+  engine.run(10);
+  EXPECT_EQ(engine.trace().records()[0].seen, 1u);
+}
+
+TEST(Engine, MultiplicityReportedWithDetection) {
+  const ChaseFirst chase;
+  EngineConfig cfg = exact_config(2.0);
+  cfg.visibility.multiplicity_detection = true;
+  sched::ScriptedScheduler sched({act(0, 0.0, 0.1, 1.0)});
+  Engine engine({{0.0, 0.0}, {1.0, 0.0}, {1.0, 0.0}}, chase, sched, cfg);
+  engine.run(10);
+  EXPECT_EQ(engine.trace().records()[0].seen, 2u);
+}
+
+}  // namespace
+}  // namespace cohesion::core

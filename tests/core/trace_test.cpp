@@ -1,0 +1,97 @@
+#include "core/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cohesion::core {
+namespace {
+
+using geom::Vec2;
+
+ActivationRecord make_record(RobotId robot, Time look, Time ms, Time me, Vec2 from, Vec2 to) {
+  ActivationRecord rec;
+  rec.activation = {robot, look, ms, me, 1.0};
+  rec.from = from;
+  rec.planned = to;
+  rec.realized = to;
+  return rec;
+}
+
+TEST(Trace, InitialPositions) {
+  const Trace t({{0.0, 0.0}, {1.0, 0.0}});
+  EXPECT_EQ(t.robot_count(), 2u);
+  EXPECT_TRUE(geom::almost_equal(t.position(0, 0.0), {0.0, 0.0}));
+  EXPECT_TRUE(geom::almost_equal(t.position(1, 100.0), {1.0, 0.0}));
+}
+
+TEST(Trace, PiecewiseLinearInterpolation) {
+  Trace t({{0.0, 0.0}});
+  t.record(make_record(0, 0.0, 1.0, 3.0, {0.0, 0.0}, {2.0, 0.0}));
+  EXPECT_TRUE(geom::almost_equal(t.position(0, 0.5), {0.0, 0.0}));   // pre-move
+  EXPECT_TRUE(geom::almost_equal(t.position(0, 2.0), {1.0, 0.0}));   // mid-move
+  EXPECT_TRUE(geom::almost_equal(t.position(0, 3.0), {2.0, 0.0}));   // done
+  EXPECT_TRUE(geom::almost_equal(t.position(0, 99.0), {2.0, 0.0}));
+}
+
+TEST(Trace, SequentialMovesCompose) {
+  Trace t({{0.0, 0.0}});
+  t.record(make_record(0, 0.0, 0.0, 1.0, {0.0, 0.0}, {1.0, 0.0}));
+  t.record(make_record(0, 2.0, 2.0, 3.0, {1.0, 0.0}, {1.0, 1.0}));
+  EXPECT_TRUE(geom::almost_equal(t.position(0, 1.5), {1.0, 0.0}));
+  EXPECT_TRUE(geom::almost_equal(t.position(0, 2.5), {1.0, 0.5}));
+  EXPECT_TRUE(geom::almost_equal(t.position(0, 4.0), {1.0, 1.0}));
+}
+
+TEST(Trace, ZeroDurationMoveJumps) {
+  Trace t({{0.0, 0.0}});
+  t.record(make_record(0, 1.0, 1.0, 1.0, {0.0, 0.0}, {5.0, 5.0}));
+  EXPECT_TRUE(geom::almost_equal(t.position(0, 1.0), {5.0, 5.0}));
+  EXPECT_TRUE(geom::almost_equal(t.position(0, 0.999), {0.0, 0.0}));
+}
+
+TEST(Trace, ConfigurationSnapshotsAllRobots) {
+  Trace t({{0.0, 0.0}, {3.0, 0.0}});
+  t.record(make_record(1, 0.0, 0.0, 2.0, {3.0, 0.0}, {3.0, 2.0}));
+  const auto cfg = t.configuration(1.0);
+  EXPECT_TRUE(geom::almost_equal(cfg[0], {0.0, 0.0}));
+  EXPECT_TRUE(geom::almost_equal(cfg[1], {3.0, 1.0}));
+}
+
+TEST(Trace, ActivationCountAndEndTime) {
+  Trace t({{0.0, 0.0}, {1.0, 0.0}});
+  t.record(make_record(0, 0.0, 0.1, 0.5, {0.0, 0.0}, {0.1, 0.0}));
+  t.record(make_record(1, 0.2, 0.3, 0.9, {1.0, 0.0}, {0.9, 0.0}));
+  t.record(make_record(0, 1.0, 1.1, 1.5, {0.1, 0.0}, {0.2, 0.0}));
+  EXPECT_EQ(t.activation_count(0), 2u);
+  EXPECT_EQ(t.activation_count(1), 1u);
+  EXPECT_DOUBLE_EQ(t.end_time(), 1.5);
+}
+
+TEST(Trace, RoundBoundaries) {
+  // Two robots; a round completes when both have completed a cycle.
+  Trace t({{0.0, 0.0}, {1.0, 0.0}});
+  t.record(make_record(0, 0.0, 0.1, 0.5, {0.0, 0.0}, {0.0, 0.0}));
+  t.record(make_record(0, 0.6, 0.7, 0.9, {0.0, 0.0}, {0.0, 0.0}));
+  t.record(make_record(1, 1.0, 1.1, 1.5, {1.0, 0.0}, {1.0, 0.0}));  // round 1 done at 1.5
+  t.record(make_record(1, 2.0, 2.1, 2.5, {1.0, 0.0}, {1.0, 0.0}));
+  t.record(make_record(0, 3.0, 3.1, 3.5, {0.0, 0.0}, {0.0, 0.0}));  // round 2 done at 3.5
+  const auto bounds = t.round_boundaries();
+  ASSERT_EQ(bounds.size(), 3u);
+  EXPECT_DOUBLE_EQ(bounds[0], 0.0);
+  EXPECT_DOUBLE_EQ(bounds[1], 1.5);
+  EXPECT_DOUBLE_EQ(bounds[2], 3.5);
+}
+
+TEST(Trace, RoundRequiresActivationStartedInRound) {
+  // Robot 1's first activation starts before the first round boundary is
+  // fixed, so it counts; but an activation overlapping a boundary only
+  // counts for the round it starts in.
+  Trace t({{0.0, 0.0}, {1.0, 0.0}});
+  t.record(make_record(0, 0.0, 0.1, 10.0, {0.0, 0.0}, {0.0, 0.0}));
+  t.record(make_record(1, 0.5, 0.6, 0.7, {1.0, 0.0}, {1.0, 0.0}));
+  const auto bounds = t.round_boundaries();
+  ASSERT_EQ(bounds.size(), 2u);
+  EXPECT_DOUBLE_EQ(bounds[1], 10.0);  // closes when the slow robot finishes
+}
+
+}  // namespace
+}  // namespace cohesion::core

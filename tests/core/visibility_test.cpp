@@ -1,0 +1,62 @@
+#include "core/visibility.hpp"
+
+#include <gtest/gtest.h>
+
+#include "metrics/configurations.hpp"
+
+namespace cohesion::core {
+namespace {
+
+using geom::Vec2;
+
+TEST(VisibilityGraph, EdgesAtThreshold) {
+  const std::vector<Vec2> pts{{0.0, 0.0}, {1.0, 0.0}, {2.5, 0.0}};
+  const VisibilityGraph g(pts, 1.0);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));  // symmetric
+  EXPECT_FALSE(g.has_edge(1, 2));
+  EXPECT_EQ(g.edges().size(), 1u);
+}
+
+TEST(VisibilityGraph, OpenBallExcludesThreshold) {
+  const std::vector<Vec2> pts{{0.0, 0.0}, {1.0, 0.0}};
+  EXPECT_TRUE(VisibilityGraph(pts, 1.0, false).has_edge(0, 1));
+  EXPECT_FALSE(VisibilityGraph(pts, 1.0, true).has_edge(0, 1));
+}
+
+TEST(VisibilityGraph, Connectivity) {
+  const std::vector<Vec2> line{{0.0, 0.0}, {1.0, 0.0}, {2.0, 0.0}, {3.0, 0.0}};
+  EXPECT_TRUE(VisibilityGraph(line, 1.0).connected());
+  EXPECT_FALSE(VisibilityGraph(line, 0.5).connected());
+  EXPECT_TRUE(VisibilityGraph({{0.0, 0.0}}, 1.0).connected());
+  EXPECT_TRUE(VisibilityGraph({}, 1.0).connected());
+}
+
+TEST(VisibilityGraph, SubsetAndLostEdges) {
+  const std::vector<Vec2> before{{0.0, 0.0}, {1.0, 0.0}, {2.0, 0.0}};
+  const std::vector<Vec2> after{{0.0, 0.0}, {1.0, 0.0}, {5.0, 0.0}};
+  const VisibilityGraph g0(before, 1.0), g1(after, 1.0);
+  EXPECT_FALSE(g0.subset_of(g1));
+  EXPECT_EQ(g0.edges_lost(g1), 1u);
+  EXPECT_TRUE(g1.subset_of(g0));
+}
+
+TEST(VisibilityGraph, WorstInitialPairStretch) {
+  const std::vector<Vec2> initial{{0.0, 0.0}, {1.0, 0.0}};
+  const std::vector<Vec2> later{{0.0, 0.0}, {1.5, 0.0}};
+  EXPECT_NEAR(worst_initial_pair_stretch(initial, later, 1.0), 1.5, 1e-12);
+  // Initially invisible pairs are ignored.
+  const std::vector<Vec2> far{{0.0, 0.0}, {10.0, 0.0}};
+  EXPECT_DOUBLE_EQ(worst_initial_pair_stretch(far, {{0.0, 0.0}, {100.0, 0.0}}, 1.0), 0.0);
+}
+
+TEST(VisibilityGraph, GeneratedConfigurationsConnected) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto pts = metrics::random_connected_configuration(30, 3.0, 1.0, seed);
+    EXPECT_TRUE(VisibilityGraph(pts, 1.0).connected());
+    EXPECT_EQ(pts.size(), 30u);
+  }
+}
+
+}  // namespace
+}  // namespace cohesion::core

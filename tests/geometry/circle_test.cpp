@@ -1,0 +1,165 @@
+#include "geometry/circle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "geometry/angles.hpp"
+
+namespace cohesion::geom {
+namespace {
+
+TEST(Circle, Contains) {
+  const Circle c{{0.0, 0.0}, 2.0};
+  EXPECT_TRUE(c.contains({1.0, 1.0}));
+  EXPECT_TRUE(c.contains({2.0, 0.0}));  // boundary
+  EXPECT_FALSE(c.contains({2.1, 0.0}));
+}
+
+TEST(Circle, Area) {
+  const Circle c{{0.0, 0.0}, 2.0};
+  EXPECT_NEAR(c.area(), 4.0 * kPi, 1e-12);
+}
+
+TEST(CircleCircleIntersect, TwoPoints) {
+  const Circle a{{0.0, 0.0}, 1.0};
+  const Circle b{{1.0, 0.0}, 1.0};
+  const auto pts = intersect(a, b);
+  ASSERT_EQ(pts.size(), 2u);
+  for (const Vec2 p : pts) {
+    EXPECT_NEAR(p.distance_to(a.center), 1.0, 1e-9);
+    EXPECT_NEAR(p.distance_to(b.center), 1.0, 1e-9);
+  }
+}
+
+TEST(CircleCircleIntersect, Tangent) {
+  const Circle a{{0.0, 0.0}, 1.0};
+  const Circle b{{2.0, 0.0}, 1.0};
+  const auto pts = intersect(a, b);
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_TRUE(almost_equal(pts[0], {1.0, 0.0}, 1e-9));
+}
+
+TEST(CircleCircleIntersect, Disjoint) {
+  EXPECT_TRUE(intersect(Circle{{0.0, 0.0}, 1.0}, Circle{{5.0, 0.0}, 1.0}).empty());
+}
+
+TEST(CircleCircleIntersect, OneInsideOther) {
+  EXPECT_TRUE(intersect(Circle{{0.0, 0.0}, 3.0}, Circle{{0.5, 0.0}, 1.0}).empty());
+}
+
+TEST(CircleSegmentIntersect, Chord) {
+  const Circle c{{0.0, 0.0}, 1.0};
+  const Segment s{{-2.0, 0.0}, {2.0, 0.0}};
+  const auto pts = intersect(c, s);
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_TRUE(almost_equal(pts[0], {-1.0, 0.0}, 1e-9));
+  EXPECT_TRUE(almost_equal(pts[1], {1.0, 0.0}, 1e-9));
+}
+
+TEST(CircleSegmentIntersect, TangentLine) {
+  const Circle c{{0.0, 0.0}, 1.0};
+  const Segment s{{-2.0, 1.0}, {2.0, 1.0}};
+  const auto pts = intersect(c, s);
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_TRUE(almost_equal(pts[0], {0.0, 1.0}, 1e-6));
+}
+
+TEST(CircleSegmentIntersect, SegmentInside) {
+  const Circle c{{0.0, 0.0}, 2.0};
+  const Segment s{{-0.5, 0.0}, {0.5, 0.0}};
+  EXPECT_TRUE(intersect(c, s).empty());
+}
+
+TEST(LensArea, DisjointIsZero) {
+  EXPECT_DOUBLE_EQ(lens_area({{0.0, 0.0}, 1.0}, {{5.0, 0.0}, 1.0}), 0.0);
+}
+
+TEST(LensArea, ContainedIsSmallerDisk) {
+  EXPECT_NEAR(lens_area({{0.0, 0.0}, 3.0}, {{0.0, 0.0}, 1.0}), kPi, 1e-12);
+}
+
+TEST(LensArea, SymmetricHalfOverlap) {
+  // Two unit circles at distance 1: known lens area 2*pi/3 - sqrt(3)/2.
+  const double expected = 2.0 * kPi / 3.0 - std::sqrt(3.0) / 2.0;
+  EXPECT_NEAR(lens_area({{0.0, 0.0}, 1.0}, {{1.0, 0.0}, 1.0}), expected, 1e-9);
+}
+
+TEST(LensArea, MonteCarloAgreement) {
+  const Circle a{{0.0, 0.0}, 1.3};
+  const Circle b{{0.9, 0.4}, 0.8};
+  std::mt19937_64 rng(33);
+  std::uniform_real_distribution<double> ux(-1.3, 1.7), uy(-1.3, 1.3);
+  const int n = 200000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) {
+    const Vec2 p{ux(rng), uy(rng)};
+    if (a.contains(p) && b.contains(p)) ++hits;
+  }
+  const double box = 3.0 * 2.6;
+  EXPECT_NEAR(lens_area(a, b), box * hits / n, 0.02);
+}
+
+TEST(ClampRay, UnconstrainedWhenInsideAll) {
+  const std::vector<Circle> disks{{{0.0, 0.0}, 10.0}};
+  const auto t = clamp_ray_to_disks({0.0, 0.0}, {1.0, 0.0}, disks);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_DOUBLE_EQ(*t, 1.0);
+}
+
+TEST(ClampRay, StopsAtBoundary) {
+  const std::vector<Circle> disks{{{0.0, 0.0}, 1.0}};
+  const auto t = clamp_ray_to_disks({0.0, 0.0}, {2.0, 0.0}, disks);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, 0.5, 1e-9);
+}
+
+TEST(ClampRay, OriginOutsideFails) {
+  const std::vector<Circle> disks{{{10.0, 0.0}, 1.0}};
+  EXPECT_FALSE(clamp_ray_to_disks({0.0, 0.0}, {1.0, 0.0}, disks).has_value());
+}
+
+TEST(ClampRay, ResultStaysInAllDisks) {
+  std::mt19937_64 rng(34);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Circle> disks;
+    for (int i = 0; i < 4; ++i) {
+      // Disks all containing the origin.
+      const Vec2 c{u(rng), u(rng)};
+      disks.push_back({c, c.norm() + 0.2});
+    }
+    const Vec2 dest{2.0 * u(rng), 2.0 * u(rng)};
+    const auto t = clamp_ray_to_disks({0.0, 0.0}, dest, disks);
+    ASSERT_TRUE(t.has_value());
+    const Vec2 reached = dest * *t;
+    for (const Circle& d : disks) EXPECT_TRUE(d.contains(reached, 1e-6));
+  }
+}
+
+TEST(Circumcircle, EquilateralTriangle) {
+  const auto c = circumcircle({0.0, 0.0}, {1.0, 0.0}, {0.5, std::sqrt(3.0) / 2.0});
+  ASSERT_TRUE(c.has_value());
+  EXPECT_NEAR(c->radius, 1.0 / std::sqrt(3.0), 1e-9);
+  EXPECT_TRUE(almost_equal(c->center, {0.5, std::sqrt(3.0) / 6.0}, 1e-9));
+}
+
+TEST(Circumcircle, CollinearReturnsNothing) {
+  EXPECT_FALSE(circumcircle({0.0, 0.0}, {1.0, 0.0}, {2.0, 0.0}).has_value());
+}
+
+TEST(Circumcircle, EquidistantProperty) {
+  std::mt19937_64 rng(35);
+  std::uniform_real_distribution<double> u(-5.0, 5.0);
+  for (int i = 0; i < 100; ++i) {
+    const Vec2 a{u(rng), u(rng)}, b{u(rng), u(rng)}, c{u(rng), u(rng)};
+    const auto cc = circumcircle(a, b, c);
+    if (!cc) continue;
+    EXPECT_NEAR(cc->center.distance_to(a), cc->radius, 1e-6);
+    EXPECT_NEAR(cc->center.distance_to(b), cc->radius, 1e-6);
+    EXPECT_NEAR(cc->center.distance_to(c), cc->radius, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace cohesion::geom

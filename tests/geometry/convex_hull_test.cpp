@@ -1,0 +1,134 @@
+#include "geometry/convex_hull.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "geometry/angles.hpp"
+
+namespace cohesion::geom {
+namespace {
+
+TEST(ConvexHull, Square) {
+  const std::vector<Vec2> pts{{0.0, 0.0}, {1.0, 0.0}, {1.0, 1.0}, {0.0, 1.0}, {0.5, 0.5}};
+  const auto hull = convex_hull(pts);
+  EXPECT_EQ(hull.size(), 4u);
+  EXPECT_DOUBLE_EQ(polygon_perimeter(hull), 4.0);
+  EXPECT_DOUBLE_EQ(polygon_area(hull), 1.0);
+  EXPECT_DOUBLE_EQ(hull_diameter(hull), std::sqrt(2.0));
+}
+
+TEST(ConvexHull, CollinearPointsRemoved) {
+  const std::vector<Vec2> pts{{0.0, 0.0}, {1.0, 0.0}, {2.0, 0.0}, {2.0, 2.0}};
+  const auto hull = convex_hull(pts);
+  EXPECT_EQ(hull.size(), 3u);
+}
+
+TEST(ConvexHull, Degenerate) {
+  EXPECT_EQ(convex_hull({{1.0, 1.0}}).size(), 1u);
+  EXPECT_EQ(convex_hull({{1.0, 1.0}, {1.0, 1.0}}).size(), 1u);
+  EXPECT_EQ(convex_hull({{0.0, 0.0}, {1.0, 0.0}}).size(), 2u);
+  // All collinear.
+  const auto hull = convex_hull({{0.0, 0.0}, {1.0, 0.0}, {2.0, 0.0}});
+  EXPECT_EQ(hull.size(), 2u);
+  EXPECT_DOUBLE_EQ(hull_diameter(hull), 2.0);
+}
+
+TEST(ConvexHull, PerimeterOfSegmentCountedOnce) {
+  EXPECT_DOUBLE_EQ(polygon_perimeter({{0.0, 0.0}, {3.0, 0.0}}), 3.0);
+}
+
+TEST(ConvexHull, CcwOrientation) {
+  const auto hull = convex_hull({{0.0, 0.0}, {2.0, 0.0}, {2.0, 2.0}, {0.0, 2.0}});
+  ASSERT_EQ(hull.size(), 4u);
+  EXPECT_GT(polygon_area(hull), 0.0);  // ccw => positive signed area
+}
+
+TEST(ConvexHull, ContainsInteriorAndBoundary) {
+  const auto hull = convex_hull({{0.0, 0.0}, {4.0, 0.0}, {4.0, 4.0}, {0.0, 4.0}});
+  EXPECT_TRUE(hull_contains(hull, {2.0, 2.0}));
+  EXPECT_TRUE(hull_contains(hull, {0.0, 2.0}));   // edge
+  EXPECT_TRUE(hull_contains(hull, {0.0, 0.0}));   // vertex
+  EXPECT_FALSE(hull_contains(hull, {5.0, 2.0}));
+  EXPECT_FALSE(hull_contains(hull, {-0.1, 2.0}));
+}
+
+TEST(ConvexHullProperty, AllPointsInsideHull) {
+  std::mt19937_64 rng(41);
+  std::uniform_real_distribution<double> u(-10.0, 10.0);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Vec2> pts;
+    for (int i = 0; i < 40; ++i) pts.push_back({u(rng), u(rng)});
+    const auto hull = convex_hull(pts);
+    for (const Vec2 p : pts) EXPECT_TRUE(hull_contains(hull, p, 1e-7));
+  }
+}
+
+TEST(ConvexHullProperty, DiameterMatchesBruteForce) {
+  std::mt19937_64 rng(42);
+  std::uniform_real_distribution<double> u(-10.0, 10.0);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Vec2> pts;
+    for (int i = 0; i < 30; ++i) pts.push_back({u(rng), u(rng)});
+    double brute = 0.0;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      for (std::size_t j = i + 1; j < pts.size(); ++j) {
+        brute = std::max(brute, pts[i].distance_to(pts[j]));
+      }
+    }
+    EXPECT_NEAR(set_diameter(pts), brute, 1e-9);
+  }
+}
+
+TEST(ConvexHullProperty, HullOfHullIsIdempotent) {
+  std::mt19937_64 rng(43);
+  std::uniform_real_distribution<double> u(-5.0, 5.0);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<Vec2> pts;
+    for (int i = 0; i < 25; ++i) pts.push_back({u(rng), u(rng)});
+    const auto h1 = convex_hull(pts);
+    const auto h2 = convex_hull(h1);
+    EXPECT_EQ(h1.size(), h2.size());
+    EXPECT_NEAR(polygon_area(h1), polygon_area(h2), 1e-9);
+  }
+}
+
+// The congregation argument's workhorse: points inside the hull keep the
+// hull unchanged; this mirrors "planned destinations inside CH_t never grow
+// the hull" (paper §5).
+TEST(ConvexHullProperty, AddingInteriorPointKeepsHull) {
+  std::mt19937_64 rng(44);
+  std::uniform_real_distribution<double> u(-5.0, 5.0);
+  std::uniform_real_distribution<double> w(0.0, 1.0);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<Vec2> pts;
+    for (int i = 0; i < 15; ++i) pts.push_back({u(rng), u(rng)});
+    const auto hull = convex_hull(pts);
+    if (hull.size() < 3) continue;
+    // Random convex combination of three hull vertices.
+    double w1 = w(rng), w2 = w(rng), w3 = w(rng);
+    const double s = w1 + w2 + w3;
+    const Vec2 inner = (hull[0] * w1 + hull[1] * w2 + hull[2] * w3) / s;
+    auto grown = pts;
+    grown.push_back(inner);
+    EXPECT_NEAR(polygon_area(convex_hull(grown)), polygon_area(hull), 1e-9);
+    EXPECT_NEAR(polygon_perimeter(convex_hull(grown)), polygon_perimeter(hull), 1e-9);
+  }
+}
+
+class RegularPolygonHull : public ::testing::TestWithParam<int> {};
+
+TEST_P(RegularPolygonHull, PerimeterAndAreaFormulas) {
+  const int n = GetParam();
+  std::vector<Vec2> pts;
+  for (int i = 0; i < n; ++i) pts.push_back(unit(kTwoPi * i / n));
+  const auto hull = convex_hull(pts);
+  EXPECT_EQ(hull.size(), static_cast<std::size_t>(n));
+  EXPECT_NEAR(polygon_perimeter(hull), 2.0 * n * std::sin(kPi / n), 1e-9);
+  EXPECT_NEAR(polygon_area(hull), 0.5 * n * std::sin(kTwoPi / n), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RegularPolygonHull, ::testing::Values(3, 4, 5, 6, 12, 100));
+
+}  // namespace
+}  // namespace cohesion::geom

@@ -1,0 +1,56 @@
+#include "geometry/minbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace cohesion::geom {
+namespace {
+
+TEST(MinBox, Basic) {
+  const MinBox b = minbox({{0.0, 0.0}, {2.0, 1.0}, {-1.0, 3.0}});
+  EXPECT_TRUE(almost_equal(b.lo, {-1.0, 0.0}));
+  EXPECT_TRUE(almost_equal(b.hi, {2.0, 3.0}));
+  EXPECT_TRUE(almost_equal(b.center(), {0.5, 1.5}));
+  EXPECT_DOUBLE_EQ(b.width(), 3.0);
+  EXPECT_DOUBLE_EQ(b.height(), 3.0);
+}
+
+TEST(MinBox, Empty) {
+  const MinBox b = minbox({});
+  EXPECT_DOUBLE_EQ(b.width(), 0.0);
+  EXPECT_DOUBLE_EQ(b.height(), 0.0);
+}
+
+TEST(MinBox, SinglePoint) {
+  const MinBox b = minbox({{4.0, -2.0}});
+  EXPECT_TRUE(almost_equal(b.center(), {4.0, -2.0}));
+  EXPECT_DOUBLE_EQ(b.diagonal(), 0.0);
+}
+
+TEST(MinBox, ContainsAllPoints) {
+  std::mt19937_64 rng(66);
+  std::uniform_real_distribution<double> u(-20.0, 20.0);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Vec2> pts;
+    for (int i = 0; i < 30; ++i) pts.push_back({u(rng), u(rng)});
+    const MinBox b = minbox(pts);
+    for (const Vec2 p : pts) EXPECT_TRUE(b.contains(p));
+    // Shrinking on any side loses some point.
+    const MinBox shrunk{b.lo + Vec2{1e-3, 1e-3}, b.hi - Vec2{1e-3, 1e-3}};
+    bool lost = false;
+    for (const Vec2 p : pts) {
+      if (!shrunk.contains(p, 0.0)) lost = true;
+    }
+    EXPECT_TRUE(lost);
+  }
+}
+
+TEST(MinBox, CenterIsGcmFixedPointForSymmetricSets) {
+  // For a centrally symmetric set the minbox centre is the symmetry centre.
+  const std::vector<Vec2> pts{{1.0, 2.0}, {-1.0, -2.0}, {2.0, -1.0}, {-2.0, 1.0}};
+  EXPECT_TRUE(almost_equal(minbox(pts).center(), {0.0, 0.0}));
+}
+
+}  // namespace
+}  // namespace cohesion::geom

@@ -1,0 +1,190 @@
+// Property tests for the reach regions R^r_{Y0}(X0, X1) of paper §3.2.1:
+// Monte-Carlo verification of Lemma 1 (stationary neighbour) and Lemma 2
+// (base region extension, moving neighbour).
+#include "geometry/reach_region.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "geometry/angles.hpp"
+#include "geometry/safe_region.hpp"
+
+namespace cohesion::geom {
+namespace {
+
+TEST(ReachRegion, DegenerateEqualsSafeRegion) {
+  // Observation 1(i): R^r_{Y0}(X0, X0) coincides with S^r_{Y0}(X0).
+  const Vec2 y0{0.0, 0.0}, x0{1.0, 0.0};
+  const double r = 0.125;
+  const ReachRegion region(y0, x0, x0, r);
+  const Circle safe = kknps_safe_region(y0, x0, r);
+  std::mt19937_64 rng(1);
+  std::uniform_real_distribution<double> u(-0.3, 0.5);
+  for (int i = 0; i < 2000; ++i) {
+    const Vec2 p{u(rng), u(rng)};
+    EXPECT_EQ(region.contains(p, 1e-7), safe.contains(p, 1e-7)) << p.x << "," << p.y;
+  }
+}
+
+TEST(ReachRegion, CoreCentersLieOnCircleAroundY0) {
+  const ReachRegion region({0.0, 0.0}, {1.0, 0.0}, {0.8, 0.6}, 0.125);
+  for (double s = 0.0; s <= 1.0; s += 0.1) {
+    EXPECT_NEAR(region.core_center(s).norm(), 0.125, 1e-12);
+  }
+}
+
+TEST(ReachRegion, ContainsY0) {
+  const ReachRegion region({0.0, 0.0}, {1.0, 0.0}, {0.8, 0.6}, 0.125);
+  EXPECT_TRUE(region.contains({0.0, 0.0}));
+}
+
+TEST(ReachRegion, ExtremePointsAreMembers) {
+  const ReachRegion region({0.0, 0.0}, {1.0, 0.0}, {0.9, 0.5}, 0.1);
+  EXPECT_TRUE(region.contains(region.y_plus(), 1e-7));
+  EXPECT_TRUE(region.contains(region.y_minus(), 1e-7));
+}
+
+TEST(ReachRegion, ExtremePointDistanceBound) {
+  // The step in Theorem 3's proof: |X1 Y0+| <= |X0 Y0| whenever X1 lies in
+  // X's scaled safe region w.r.t. Y0 — so the reach-region's worst endpoint
+  // still sees X1 within the original separation.
+  std::mt19937_64 rng(71);
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  std::uniform_real_distribution<double> ang(-kPi, kPi);
+  const double v = 1.0;
+  for (const std::size_t k : {1u, 2u, 4u}) {
+    const double r = v / (8.0 * static_cast<double>(k));
+    for (int trial = 0; trial < 500; ++trial) {
+      const Vec2 y0{0.0, 0.0};
+      const Vec2 x0 = unit(ang(rng)) * (0.55 * v + 0.45 * v * u01(rng));
+      const Circle sx = kknps_safe_region(x0, y0, r);
+      const Vec2 x1 = sx.center + unit(ang(rng)) * (sx.radius * u01(rng));
+      if (almost_equal(x1, y0, 1e-9)) continue;
+      const ReachRegion region(y0, x0, x1, r);
+      EXPECT_LE(x1.distance_to(region.y_plus()), x0.distance_to(y0) + 1e-9)
+          << "k=" << k << " trial=" << trial;
+    }
+  }
+}
+
+TEST(ReachRegion, CoincidentWithY0Throws) {
+  EXPECT_THROW(ReachRegion({0.0, 0.0}, {0.0, 0.0}, {1.0, 0.0}, 0.1), std::invalid_argument);
+  EXPECT_THROW(ReachRegion({0.0, 0.0}, {1.0, 0.0}, {0.0, 0.0}, 0.1), std::invalid_argument);
+}
+
+struct LemmaCase {
+  std::size_t k;
+  std::uint64_t seed;
+};
+
+class ReachRegionLemma : public ::testing::TestWithParam<LemmaCase> {};
+
+// Lemma 1: with X stationary at X0, any j <= k successive moves of Y, each
+// confined to the current 1/k-scaled safe region w.r.t. X0, end inside
+// R^{j r}_{Y0}(X0, X0) = S^{j r}_{Y0}(X0).
+TEST_P(ReachRegionLemma, Lemma1StationaryNeighbour) {
+  const auto [k, seed] = GetParam();
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  std::uniform_real_distribution<double> ang(-kPi, kPi);
+
+  const double v_y = 1.0;
+  const double r = v_y / (8.0 * static_cast<double>(k));
+
+  for (int trial = 0; trial < 400; ++trial) {
+    const Vec2 y0{0.0, 0.0};
+    // Distant neighbour: distance in (V_Y/2, V_Y].
+    const Vec2 x0 = unit(ang(rng)) * (v_y / 2.0 + (v_y / 2.0) * u01(rng));
+    Vec2 y = y0;
+    for (std::size_t j = 1; j <= k; ++j) {
+      // Random point of the current scaled safe region w.r.t. X0.
+      const Circle s = kknps_safe_region(y, x0, r);
+      y = s.center + unit(ang(rng)) * (s.radius * u01(rng));
+      const Circle bound = kknps_safe_region(y0, x0, static_cast<double>(j) * r);
+      ASSERT_TRUE(bound.contains(y, 1e-9))
+          << "k=" << k << " j=" << j << " trial=" << trial;
+    }
+  }
+}
+
+// Lemma 2 (base region extension): with X moving monotonically from X0 to
+// X1, each move of Y confined to the scaled safe region w.r.t. the current
+// location of X; endpoints lie in R^{j r}_{Y0}(X0, X1).
+TEST_P(ReachRegionLemma, Lemma2MovingNeighbour) {
+  const auto [k, seed] = GetParam();
+  std::mt19937_64 rng(seed * 31 + 7);
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  std::uniform_real_distribution<double> ang(-kPi, kPi);
+
+  const double v_y = 1.0;
+  const double r = v_y / (8.0 * static_cast<double>(k));
+
+  for (int trial = 0; trial < 200; ++trial) {
+    const Vec2 y0{0.0, 0.0};
+    const Vec2 x0 = unit(ang(rng)) * (v_y / 2.0 + (v_y / 2.0) * u01(rng));
+    // X's own move respects its (unscaled would be V_X/8 <= V/8) bound; take
+    // a destination within V/8 of X0, avoiding Y0's vicinity.
+    Vec2 x1 = x0 + unit(ang(rng)) * (v_y / 8.0 * u01(rng));
+    if (x1.norm() < 1e-3) x1 = x0;  // keep X1 != Y0
+
+    // X's progress along its segment is monotone in time.
+    std::vector<double> progress(k);
+    for (auto& p : progress) p = u01(rng);
+    std::sort(progress.begin(), progress.end());
+
+    Vec2 y = y0;
+    for (std::size_t j = 1; j <= k; ++j) {
+      const Vec2 x_star = lerp(x0, x1, progress[j - 1]);
+      if (almost_equal(x_star, y, 1e-9)) continue;
+      const Circle s = kknps_safe_region(y, x_star, r);
+      y = s.center + unit(ang(rng)) * (s.radius * u01(rng));
+      const ReachRegion bound(y0, x0, x1, static_cast<double>(j) * r);
+      ASSERT_TRUE(bound.contains(y, 1e-7))
+          << "k=" << k << " j=" << j << " trial=" << trial;
+    }
+  }
+}
+
+// Visibility consequence used by Theorem 3: after j <= k nested moves the
+// distance from X1 to Y_j is at most |X0 Y0| (so mutual visibility is kept).
+TEST_P(ReachRegionLemma, NestedMovesPreserveVisibilityBound) {
+  const auto [k, seed] = GetParam();
+  std::mt19937_64 rng(seed * 101 + 3);
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  std::uniform_real_distribution<double> ang(-kPi, kPi);
+
+  const double v = 1.0;
+  const double r_y = v / (8.0 * static_cast<double>(k));
+
+  for (int trial = 0; trial < 300; ++trial) {
+    const Vec2 y0{0.0, 0.0};
+    // Initially visible pair near the threshold (worst case).
+    const Vec2 x0 = unit(ang(rng)) * (0.8 * v + 0.2 * v * u01(rng));
+    // X moves inside its own scaled safe region w.r.t. Y0.
+    const Circle sx = kknps_safe_region(x0, y0, v / (8.0 * static_cast<double>(k)));
+    const Vec2 x1 = sx.center + unit(ang(rng)) * (sx.radius * u01(rng));
+
+    std::vector<double> progress(k);
+    for (auto& p : progress) p = u01(rng);
+    std::sort(progress.begin(), progress.end());
+
+    Vec2 y = y0;
+    for (std::size_t j = 0; j < k; ++j) {
+      const Vec2 x_star = lerp(x0, x1, progress[j]);
+      if (almost_equal(x_star, y, 1e-9)) continue;
+      const Circle s = kknps_safe_region(y, x_star, r_y);
+      y = s.center + unit(ang(rng)) * (s.radius * u01(rng));
+    }
+    EXPECT_LE(x1.distance_to(y), v + 1e-9) << "k=" << k << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ReachRegionLemma,
+                         ::testing::Values(LemmaCase{1, 1000}, LemmaCase{2, 2000},
+                                           LemmaCase{3, 3000}, LemmaCase{4, 4000},
+                                           LemmaCase{8, 8000}),
+                         [](const auto& info) { return "k" + std::to_string(info.param.k); });
+
+}  // namespace
+}  // namespace cohesion::geom

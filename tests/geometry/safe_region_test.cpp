@@ -1,0 +1,131 @@
+#include "geometry/safe_region.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "geometry/angles.hpp"
+
+namespace cohesion::geom {
+namespace {
+
+TEST(KknpsSafeRegion, GeometryMatchesDefinition) {
+  // S^r_{Y0}(X0): disk of radius r centred at distance r from Y0 toward X0.
+  const Vec2 y0{0.0, 0.0}, x0{10.0, 0.0};
+  const double r = 0.125;
+  const Circle s = kknps_safe_region(y0, x0, r);
+  EXPECT_TRUE(almost_equal(s.center, {r, 0.0}, 1e-12));
+  EXPECT_DOUBLE_EQ(s.radius, r);
+  // Y0 is on the boundary.
+  EXPECT_NEAR(s.center.distance_to(y0), s.radius, 1e-12);
+}
+
+TEST(KknpsSafeRegion, DependsOnlyOnDirection) {
+  // Paper §3.2.1(ii): the region depends only on the direction of X0, not
+  // its distance.
+  const Vec2 y0{1.0, 2.0};
+  const Circle near = kknps_safe_region(y0, y0 + Vec2{0.6, 0.8}, 0.2);
+  const Circle far = kknps_safe_region(y0, y0 + Vec2{6.0, 8.0}, 0.2);
+  EXPECT_TRUE(almost_equal(near.center, far.center, 1e-12));
+  EXPECT_DOUBLE_EQ(near.radius, far.radius);
+}
+
+TEST(KknpsSafeRegion, MaxMoveIsTwiceRadius) {
+  const Circle s = kknps_safe_region({0.0, 0.0}, {1.0, 1.0}, 0.125);
+  EXPECT_NEAR(max_move_within(s, {0.0, 0.0}), 0.25, 1e-12);
+}
+
+TEST(KknpsSafeRegion, CoincidentPointsThrow) {
+  EXPECT_THROW(kknps_safe_region({1.0, 1.0}, {1.0, 1.0}, 0.1), std::invalid_argument);
+}
+
+TEST(KknpsSafeRegion, ScalingProperty) {
+  // If P is in S^r then alpha-scaled P (about Y0) is in S^{alpha r}
+  // (paper §3.2.1).
+  std::mt19937_64 rng(77);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  std::uniform_real_distribution<double> ua(0.05, 1.0);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Vec2 y0{u(rng), u(rng)};
+    const Vec2 x0 = y0 + Vec2{u(rng) + 1.5, u(rng)};
+    const double r = 0.1 + 0.2 * ua(rng);
+    const Circle s = kknps_safe_region(y0, x0, r);
+    // Sample P inside s.
+    const Vec2 p = s.center + unit(u(rng) * kPi) * (s.radius * ua(rng));
+    const double alpha = ua(rng);
+    const Vec2 p_scaled = y0 + (p - y0) * alpha;
+    const Circle s_scaled = kknps_safe_region(y0, x0, alpha * r);
+    EXPECT_TRUE(s_scaled.contains(p_scaled, 1e-9));
+  }
+}
+
+TEST(AndoSafeRegion, GeometryMatchesDefinition) {
+  const Circle s = ando_safe_region({0.0, 0.0}, {1.0, 0.0}, 1.0);
+  EXPECT_TRUE(almost_equal(s.center, {0.5, 0.0}));
+  EXPECT_DOUBLE_EQ(s.radius, 0.5);
+}
+
+TEST(AndoSafeRegion, MutualMovesPreserveVisibilitySSync) {
+  // If X and Y at distance <= V each move inside their Ando safe region,
+  // the new separation is <= V (the SSync preservation argument of [2]).
+  std::mt19937_64 rng(78);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  std::uniform_real_distribution<double> ua(0.0, 1.0);
+  const double v = 1.0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    const Vec2 y0{0.0, 0.0};
+    const Vec2 x0 = unit(u(rng) * kPi) * (v * ua(rng));
+    if (x0.norm() < 1e-6) continue;
+    const Circle sy = ando_safe_region(y0, x0, v);
+    const Circle sx = ando_safe_region(x0, y0, v);
+    const Vec2 y1 = sy.center + unit(u(rng) * kPi) * (sy.radius * ua(rng));
+    const Vec2 x1 = sx.center + unit(u(rng) * kPi) * (sx.radius * ua(rng));
+    EXPECT_LE(y1.distance_to(x1), v + 1e-9);
+  }
+}
+
+TEST(KatreniakRegion, GeometryMatchesDefinition) {
+  const Vec2 y0{0.0, 0.0}, x0{0.8, 0.0};
+  const double v_y = 1.0;
+  const KatreniakRegion region = katreniak_safe_region(y0, x0, v_y);
+  EXPECT_TRUE(almost_equal(region.near_disk.center, {0.2, 0.0}, 1e-12));
+  EXPECT_DOUBLE_EQ(region.near_disk.radius, 0.2);
+  EXPECT_TRUE(almost_equal(region.self_disk.center, y0));
+  EXPECT_DOUBLE_EQ(region.self_disk.radius, 0.05);
+}
+
+TEST(KatreniakRegion, ContainsSelfAlways) {
+  std::mt19937_64 rng(79);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  std::uniform_real_distribution<double> ud(0.2, 1.0);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Vec2 y0{u(rng), u(rng)};
+    const double d = ud(rng);
+    const Vec2 x0 = y0 + unit(u(rng) * kPi) * d;
+    const KatreniakRegion region = katreniak_safe_region(y0, x0, std::max(d, ud(rng)));
+    EXPECT_TRUE(region.contains(y0));
+  }
+}
+
+TEST(KatreniakRegion, AreaIsUnionNotSum) {
+  // Overlapping disks: area strictly less than sum of parts.
+  const KatreniakRegion region = katreniak_safe_region({0.0, 0.0}, {0.4, 0.0}, 1.0);
+  const double sum = region.near_disk.area() + region.self_disk.area();
+  if (disks_intersect(region.near_disk, region.self_disk)) {
+    EXPECT_LT(region.area(), sum);
+  }
+  EXPECT_GT(region.area(), 0.0);
+}
+
+TEST(Fig3Comparison, PlannedMoveBounds) {
+  // Fig. 3 quantitative shape: for a distant neighbour at distance d = V,
+  // max planned move is V for Ando (toward the neighbour), V/4 for the
+  // unscaled KKNPS region (= 2r with r = V/8).
+  const double v = 1.0;
+  const Vec2 y0{0.0, 0.0}, x0{v, 0.0};
+  EXPECT_NEAR(max_move_within(ando_safe_region(y0, x0, v), y0), v, 1e-12);
+  EXPECT_NEAR(max_move_within(kknps_safe_region(y0, x0, v / 8.0), y0), v / 4.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace cohesion::geom

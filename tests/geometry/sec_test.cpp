@@ -1,0 +1,92 @@
+#include "geometry/smallest_enclosing_circle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "geometry/angles.hpp"
+
+namespace cohesion::geom {
+namespace {
+
+TEST(Sec, EmptyAndSingle) {
+  EXPECT_DOUBLE_EQ(smallest_enclosing_circle({}).radius, 0.0);
+  const Circle c = smallest_enclosing_circle({{2.0, 3.0}});
+  EXPECT_DOUBLE_EQ(c.radius, 0.0);
+  EXPECT_TRUE(almost_equal(c.center, {2.0, 3.0}));
+}
+
+TEST(Sec, TwoPoints) {
+  const Circle c = smallest_enclosing_circle({{0.0, 0.0}, {2.0, 0.0}});
+  EXPECT_NEAR(c.radius, 1.0, 1e-9);
+  EXPECT_TRUE(almost_equal(c.center, {1.0, 0.0}, 1e-9));
+}
+
+TEST(Sec, EquilateralTriangle) {
+  const Circle c =
+      smallest_enclosing_circle({{0.0, 0.0}, {1.0, 0.0}, {0.5, std::sqrt(3.0) / 2.0}});
+  EXPECT_NEAR(c.radius, 1.0 / std::sqrt(3.0), 1e-9);
+}
+
+TEST(Sec, ObtuseTriangleUsesDiameter) {
+  // For an obtuse triangle the SEC is the circle on the longest side.
+  const Circle c = smallest_enclosing_circle({{0.0, 0.0}, {10.0, 0.0}, {5.0, 0.1}});
+  EXPECT_NEAR(c.radius, 5.0, 1e-6);
+  EXPECT_TRUE(almost_equal(c.center, {5.0, 0.0}, 1e-6));
+}
+
+TEST(Sec, DuplicatePoints) {
+  const Circle c = smallest_enclosing_circle({{1.0, 1.0}, {1.0, 1.0}, {1.0, 1.0}});
+  EXPECT_NEAR(c.radius, 0.0, 1e-12);
+}
+
+TEST(Sec, CollinearPoints) {
+  const Circle c = smallest_enclosing_circle({{0.0, 0.0}, {1.0, 0.0}, {4.0, 0.0}, {2.0, 0.0}});
+  EXPECT_NEAR(c.radius, 2.0, 1e-9);
+  EXPECT_TRUE(almost_equal(c.center, {2.0, 0.0}, 1e-9));
+}
+
+TEST(Sec, PointsOnCircle) {
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 17; ++i) pts.push_back(unit(kTwoPi * i / 17.0) * 3.0);
+  const Circle c = smallest_enclosing_circle(pts);
+  EXPECT_NEAR(c.radius, 3.0, 1e-9);
+  EXPECT_TRUE(almost_equal(c.center, {0.0, 0.0}, 1e-9));
+}
+
+class SecRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(SecRandom, EnclosesAllAndIsMinimal) {
+  std::mt19937_64 rng(100 + GetParam());
+  std::uniform_real_distribution<double> u(-10.0, 10.0);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < GetParam(); ++i) pts.push_back({u(rng), u(rng)});
+  const Circle c = smallest_enclosing_circle(pts);
+
+  EXPECT_TRUE(encloses(c, pts));
+
+  // Minimality certificate: at least two points on the boundary, and the
+  // radius cannot shrink by 1% and still enclose.
+  int on_boundary = 0;
+  for (const Vec2 p : pts) {
+    if (std::abs(p.distance_to(c.center) - c.radius) < 1e-6) ++on_boundary;
+  }
+  EXPECT_GE(on_boundary, 2);
+  EXPECT_FALSE(encloses({c.center, c.radius * 0.99}, pts, 0.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SecRandom, ::testing::Values(3, 5, 10, 50, 200, 1000));
+
+TEST(Sec, DeterministicAcrossCalls) {
+  std::mt19937_64 rng(55);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 64; ++i) pts.push_back({u(rng), u(rng)});
+  const Circle a = smallest_enclosing_circle(pts);
+  const Circle b = smallest_enclosing_circle(pts);
+  EXPECT_TRUE(almost_equal(a.center, b.center, 0.0));
+  EXPECT_DOUBLE_EQ(a.radius, b.radius);
+}
+
+}  // namespace
+}  // namespace cohesion::geom

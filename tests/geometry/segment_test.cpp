@@ -1,0 +1,100 @@
+#include "geometry/segment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace cohesion::geom {
+namespace {
+
+TEST(Segment, LengthAndPointAt) {
+  const Segment s{{0.0, 0.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(s.length(), 5.0);
+  EXPECT_TRUE(almost_equal(s.point_at(0.5), {1.5, 2.0}));
+  EXPECT_TRUE(almost_equal(s.direction(), {0.6, 0.8}));
+}
+
+TEST(Segment, ClosestPointInterior) {
+  const Segment s{{0.0, 0.0}, {10.0, 0.0}};
+  EXPECT_TRUE(almost_equal(s.closest_point({5.0, 3.0}), {5.0, 0.0}));
+  EXPECT_DOUBLE_EQ(s.distance_to({5.0, 3.0}), 3.0);
+}
+
+TEST(Segment, ClosestPointClampsToEndpoints) {
+  const Segment s{{0.0, 0.0}, {10.0, 0.0}};
+  EXPECT_TRUE(almost_equal(s.closest_point({-5.0, 0.0}), {0.0, 0.0}));
+  EXPECT_TRUE(almost_equal(s.closest_point({15.0, 2.0}), {10.0, 0.0}));
+}
+
+TEST(Segment, DegenerateSegment) {
+  const Segment s{{1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_DOUBLE_EQ(s.length(), 0.0);
+  EXPECT_TRUE(almost_equal(s.closest_point({4.0, 5.0}), {1.0, 1.0}));
+  EXPECT_DOUBLE_EQ(s.distance_to({1.0, 2.0}), 1.0);
+}
+
+TEST(SegmentIntersect, ProperCrossing) {
+  const Segment a{{0.0, 0.0}, {2.0, 2.0}};
+  const Segment b{{0.0, 2.0}, {2.0, 0.0}};
+  const auto p = intersect(a, b);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(almost_equal(*p, {1.0, 1.0}));
+}
+
+TEST(SegmentIntersect, NoIntersection) {
+  const Segment a{{0.0, 0.0}, {1.0, 0.0}};
+  const Segment b{{0.0, 1.0}, {1.0, 1.0}};
+  EXPECT_FALSE(intersect(a, b).has_value());
+}
+
+TEST(SegmentIntersect, TouchingAtEndpoint) {
+  const Segment a{{0.0, 0.0}, {1.0, 0.0}};
+  const Segment b{{1.0, 0.0}, {2.0, 3.0}};
+  const auto p = intersect(a, b);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(almost_equal(*p, {1.0, 0.0}, 1e-9));
+}
+
+TEST(SegmentIntersect, CollinearOverlap) {
+  const Segment a{{0.0, 0.0}, {2.0, 0.0}};
+  const Segment b{{1.0, 0.0}, {3.0, 0.0}};
+  const auto p = intersect(a, b);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR(p->y, 0.0, 1e-12);
+  EXPECT_GE(p->x, 1.0 - 1e-9);
+  EXPECT_LE(p->x, 2.0 + 1e-9);
+}
+
+TEST(SegmentIntersect, CollinearDisjoint) {
+  const Segment a{{0.0, 0.0}, {1.0, 0.0}};
+  const Segment b{{2.0, 0.0}, {3.0, 0.0}};
+  EXPECT_FALSE(intersect(a, b).has_value());
+}
+
+TEST(SegmentIntersect, ParallelNonCollinear) {
+  const Segment a{{0.0, 0.0}, {1.0, 1.0}};
+  const Segment b{{0.0, 0.5}, {1.0, 1.5}};
+  EXPECT_FALSE(intersect(a, b).has_value());
+}
+
+TEST(Orientation, Predicates) {
+  EXPECT_EQ(orientation({0.0, 0.0}, {1.0, 0.0}, {1.0, 1.0}), 1);
+  EXPECT_EQ(orientation({0.0, 0.0}, {1.0, 0.0}, {1.0, -1.0}), -1);
+  EXPECT_EQ(orientation({0.0, 0.0}, {1.0, 0.0}, {2.0, 0.0}), 0);
+}
+
+TEST(SegmentProperty, ClosestPointIsNearestOnSegment) {
+  std::mt19937_64 rng(21);
+  std::uniform_real_distribution<double> u(-5.0, 5.0);
+  for (int i = 0; i < 200; ++i) {
+    const Segment s{{u(rng), u(rng)}, {u(rng), u(rng)}};
+    const Vec2 p{u(rng), u(rng)};
+    const double d = s.distance_to(p);
+    for (double t = 0.0; t <= 1.0; t += 0.05) {
+      EXPECT_LE(d, s.point_at(t).distance_to(p) + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cohesion::geom

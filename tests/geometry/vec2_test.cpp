@@ -1,0 +1,116 @@
+#include "geometry/vec2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "geometry/angles.hpp"
+
+namespace cohesion::geom {
+namespace {
+
+TEST(Vec2, ArithmeticBasics) {
+  const Vec2 a{1.0, 2.0}, b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Vec2{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Vec2{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(a / 2.0, (Vec2{0.5, 1.0}));
+  EXPECT_EQ(-a, (Vec2{-1.0, -2.0}));
+}
+
+TEST(Vec2, CompoundAssignment) {
+  Vec2 v{1.0, 1.0};
+  v += {2.0, 3.0};
+  EXPECT_EQ(v, (Vec2{3.0, 4.0}));
+  v -= {1.0, 1.0};
+  EXPECT_EQ(v, (Vec2{2.0, 3.0}));
+  v *= 2.0;
+  EXPECT_EQ(v, (Vec2{4.0, 6.0}));
+}
+
+TEST(Vec2, DotAndCross) {
+  const Vec2 a{1.0, 0.0}, b{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(a.dot(b), 0.0);
+  EXPECT_DOUBLE_EQ(a.cross(b), 1.0);
+  EXPECT_DOUBLE_EQ(b.cross(a), -1.0);
+  EXPECT_DOUBLE_EQ(a.dot(a), 1.0);
+}
+
+TEST(Vec2, NormAndDistance) {
+  const Vec2 v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.norm2(), 25.0);
+  EXPECT_DOUBLE_EQ(v.distance_to({0.0, 0.0}), 5.0);
+  EXPECT_DOUBLE_EQ(v.distance2_to({3.0, 0.0}), 16.0);
+}
+
+TEST(Vec2, NormalizedUnitLength) {
+  const Vec2 v{3.0, 4.0};
+  EXPECT_NEAR(v.normalized().norm(), 1.0, 1e-15);
+  EXPECT_NEAR(v.normalized().x, 0.6, 1e-15);
+}
+
+TEST(Vec2, NormalizedZeroVectorIsZero) {
+  EXPECT_EQ((Vec2{0.0, 0.0}).normalized(), (Vec2{0.0, 0.0}));
+}
+
+TEST(Vec2, AngleMatchesAtan2) {
+  EXPECT_DOUBLE_EQ((Vec2{1.0, 0.0}).angle(), 0.0);
+  EXPECT_DOUBLE_EQ((Vec2{0.0, 1.0}).angle(), kPi / 2.0);
+  EXPECT_DOUBLE_EQ((Vec2{-1.0, 0.0}).angle(), kPi);
+}
+
+TEST(Vec2, RotationQuarterTurn) {
+  const Vec2 v{1.0, 0.0};
+  const Vec2 r = v.rotated(kPi / 2.0);
+  EXPECT_NEAR(r.x, 0.0, 1e-15);
+  EXPECT_NEAR(r.y, 1.0, 1e-15);
+  EXPECT_TRUE(almost_equal(v.perp(), r, 1e-15));
+}
+
+TEST(Vec2, RotationPreservesNorm) {
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> u(-10.0, 10.0);
+  for (int i = 0; i < 100; ++i) {
+    const Vec2 v{u(rng), u(rng)};
+    const double theta = u(rng);
+    EXPECT_NEAR(v.rotated(theta).norm(), v.norm(), 1e-12);
+  }
+}
+
+TEST(Vec2, RotationComposition) {
+  std::mt19937_64 rng(4);
+  std::uniform_real_distribution<double> u(-3.0, 3.0);
+  for (int i = 0; i < 50; ++i) {
+    const Vec2 v{u(rng), u(rng)};
+    const double a = u(rng), b = u(rng);
+    EXPECT_TRUE(almost_equal(v.rotated(a).rotated(b), v.rotated(a + b), 1e-12));
+  }
+}
+
+TEST(Vec2, LerpEndpointsAndMidpoint) {
+  const Vec2 a{0.0, 0.0}, b{2.0, 4.0};
+  EXPECT_EQ(lerp(a, b, 0.0), a);
+  EXPECT_EQ(lerp(a, b, 1.0), b);
+  EXPECT_EQ(lerp(a, b, 0.5), midpoint(a, b));
+  EXPECT_EQ(midpoint(a, b), (Vec2{1.0, 2.0}));
+}
+
+TEST(Vec2, UnitVector) {
+  EXPECT_TRUE(almost_equal(unit(0.0), {1.0, 0.0}, 1e-15));
+  EXPECT_TRUE(almost_equal(unit(kPi / 2.0), {0.0, 1.0}, 1e-15));
+  for (double t = -3.0; t < 3.0; t += 0.37) {
+    EXPECT_NEAR(unit(t).norm(), 1.0, 1e-15);
+    EXPECT_NEAR(unit(t).angle(), normalize_angle_signed(t), 1e-12);
+  }
+}
+
+TEST(Vec2, AlmostEqualTolerance) {
+  EXPECT_TRUE(almost_equal({1.0, 1.0}, {1.0 + 1e-10, 1.0}, 1e-9));
+  EXPECT_FALSE(almost_equal({1.0, 1.0}, {1.0 + 1e-8, 1.0}, 1e-9));
+}
+
+}  // namespace
+}  // namespace cohesion::geom

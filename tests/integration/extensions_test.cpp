@@ -1,0 +1,138 @@
+// The §6.2 / §6.3 extension claims, exercised end-to-end:
+//   * open visibility balls (strictly < V);
+//   * per-robot visibility radii differing by a small factor;
+//   * disconnected initial configurations: each component converges by
+//     itself (§6.3.1);
+//   * co-located robots and multiplicity perception.
+#include <gtest/gtest.h>
+
+#include "algo/kknps.hpp"
+#include "core/engine.hpp"
+#include "core/visibility.hpp"
+#include "geometry/convex_hull.hpp"
+#include "metrics/configurations.hpp"
+#include "metrics/stats.hpp"
+#include "sched/asynchronous.hpp"
+#include "sched/synchronous.hpp"
+
+namespace cohesion {
+namespace {
+
+using core::Engine;
+using core::EngineConfig;
+using geom::Vec2;
+
+TEST(Extensions, OpenVisibilityBall) {
+  // §6.2: with an open ball, V_Z is always a strict underestimate of V and
+  // the algorithm still converges. Spacing strictly below V.
+  const algo::KknpsAlgorithm algo({.k = 1});
+  const auto initial = metrics::line_configuration(8, 0.9);
+  sched::SSyncScheduler sched(initial.size());
+  EngineConfig cfg;
+  cfg.visibility.radius = 1.0;
+  cfg.visibility.open_ball = true;
+  Engine engine(initial, algo, sched, cfg);
+  EXPECT_TRUE(engine.run_until_converged(0.05, 300000));
+}
+
+TEST(Extensions, PerRobotRadiiSmallSpread) {
+  // §6.2: individual radii differing by a small known factor. The initial
+  // mutual-visibility graph (at the smallest radius) must be connected.
+  const std::size_t n = 10;
+  const auto initial = metrics::line_configuration(n, 0.85);
+  const algo::KknpsAlgorithm algo({.k = 2});
+  sched::KAsyncScheduler::Params p;
+  p.k = 2;
+  p.seed = 3;
+  sched::KAsyncScheduler sched(n, p);
+  EngineConfig cfg;
+  cfg.visibility.radius = 1.0;
+  cfg.visibility.per_robot_radii.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cfg.visibility.per_robot_radii[i] = 1.0 + 0.1 * static_cast<double>(i % 3) / 2.0;
+  }
+  Engine engine(initial, algo, sched, cfg);
+  EXPECT_TRUE(engine.run_until_converged(0.05, 400000));
+  // Cohesion at the smallest radius.
+  const auto rep = metrics::analyze(engine.trace(), 1.0, 0.05);
+  EXPECT_TRUE(rep.cohesive);
+}
+
+TEST(Extensions, DisconnectedComponentsConvergeSeparately) {
+  // §6.3.1: two far-apart clusters each converge to their own point and
+  // never interact.
+  std::vector<Vec2> initial;
+  const auto left = metrics::line_configuration(5, 0.8);
+  for (const Vec2 p : left) initial.push_back(p);
+  for (const Vec2 p : left) initial.push_back(p + Vec2{100.0, 0.0});
+
+  const algo::KknpsAlgorithm algo({.k = 1});
+  sched::FSyncScheduler sched(initial.size());
+  EngineConfig cfg;
+  cfg.visibility.radius = 1.0;
+  Engine engine(initial, algo, sched, cfg);
+  engine.run(60000);
+
+  const auto final_cfg = engine.current_configuration();
+  const std::vector<Vec2> left_final(final_cfg.begin(), final_cfg.begin() + 5);
+  const std::vector<Vec2> right_final(final_cfg.begin() + 5, final_cfg.end());
+  EXPECT_LE(geom::set_diameter(left_final), 0.05);
+  EXPECT_LE(geom::set_diameter(right_final), 0.05);
+  // Components never merged.
+  EXPECT_GE(left_final[0].distance_to(right_final[0]), 90.0);
+}
+
+TEST(Extensions, ColocatedRobotsConverge) {
+  // Multiplicities perceived as a single robot must not break convergence.
+  std::vector<Vec2> initial{{0.0, 0.0}, {0.0, 0.0}, {0.7, 0.0}, {0.7, 0.0}, {1.4, 0.0}};
+  const algo::KknpsAlgorithm algo({.k = 1});
+  sched::SSyncScheduler sched(initial.size());
+  EngineConfig cfg;
+  cfg.visibility.radius = 1.0;
+  Engine engine(initial, algo, sched, cfg);
+  EXPECT_TRUE(engine.run_until_converged(0.05, 300000));
+}
+
+TEST(Extensions, MultiplicityDetectionDoesNotChangeKknps) {
+  // KKNPS ignores the multiplicity flag; with detection on, behaviour is
+  // identical for the same seed.
+  std::vector<Vec2> initial{{0.0, 0.0}, {0.0, 0.0}, {0.8, 0.0}};
+  const algo::KknpsAlgorithm algo({.k = 1});
+  auto run = [&](bool detect) {
+    sched::FSyncScheduler sched(initial.size());
+    EngineConfig cfg;
+    cfg.visibility.radius = 1.0;
+    cfg.visibility.multiplicity_detection = detect;
+    cfg.error.random_rotation = false;
+    cfg.seed = 5;
+    Engine engine(initial, algo, sched, cfg);
+    engine.run(300);
+    return engine.current_configuration();
+  };
+  const auto with = run(true);
+  const auto without = run(false);
+  for (std::size_t i = 0; i < initial.size(); ++i) {
+    EXPECT_TRUE(geom::almost_equal(with[i], without[i], 1e-9));
+  }
+}
+
+TEST(Extensions, VisibilityExceedingDiameterSurvivesUnboundedAsync) {
+  // §6.2: with V above the initial diameter, the k=1 algorithm converges
+  // under a fully unbounded Async scheduler — no multiplicity detection
+  // needed.
+  const auto initial = metrics::random_connected_configuration(9, 0.8, 5.0, 77);
+  const algo::KknpsAlgorithm algo({.k = 1});
+  sched::KAsyncScheduler::Params p;
+  p.k = static_cast<std::size_t>(-1);
+  p.min_duration = 0.2;
+  p.max_duration = 9.0;
+  p.seed = 77;
+  sched::KAsyncScheduler sched(initial.size(), p);
+  EngineConfig cfg;
+  cfg.visibility.radius = 5.0;
+  Engine engine(initial, algo, sched, cfg);
+  EXPECT_TRUE(engine.run_until_converged(0.05, 400000));
+}
+
+}  // namespace
+}  // namespace cohesion

@@ -1,0 +1,162 @@
+// Cross-cutting properties that don't belong to a single module:
+// degenerate swarms, large-swarm smoke, hull-diminishing for the baselines
+// inside their guaranteed regimes, and round-accounting sanity.
+#include <gtest/gtest.h>
+
+#include "algo/baselines.hpp"
+#include "algo/kknps.hpp"
+#include "core/engine.hpp"
+#include "geometry/convex_hull.hpp"
+#include "metrics/configurations.hpp"
+#include "metrics/stats.hpp"
+#include "sched/asynchronous.hpp"
+#include "sched/synchronous.hpp"
+
+namespace cohesion {
+namespace {
+
+using core::Engine;
+using core::EngineConfig;
+using geom::Vec2;
+
+EngineConfig exact() {
+  EngineConfig c;
+  c.visibility.radius = 1.0;
+  c.error.random_rotation = false;
+  return c;
+}
+
+TEST(Degenerate, SingleRobotIsTriviallyConverged) {
+  const algo::KknpsAlgorithm algo;
+  sched::FSyncScheduler sched(1);
+  Engine engine({{2.0, 3.0}}, algo, sched, exact());
+  engine.run(50);
+  EXPECT_TRUE(geom::almost_equal(engine.current_configuration()[0], {2.0, 3.0}));
+  EXPECT_DOUBLE_EQ(engine.current_diameter(), 0.0);
+}
+
+TEST(Degenerate, TwoRobotsGatherToMutualMidpointRegion) {
+  const algo::KknpsAlgorithm algo;
+  sched::FSyncScheduler sched(2);
+  Engine engine({{0.0, 0.0}, {0.9, 0.0}}, algo, sched, exact());
+  EXPECT_TRUE(engine.run_until_converged(0.01, 100000));
+  const auto cfg = engine.current_configuration();
+  // Convergence point lies between the two initial positions (hull nesting).
+  for (const Vec2 p : cfg) {
+    EXPECT_GE(p.x, -1e-9);
+    EXPECT_LE(p.x, 0.9 + 1e-9);
+    EXPECT_NEAR(p.y, 0.0, 1e-9);
+  }
+}
+
+TEST(Degenerate, AllRobotsCoLocatedStayPut) {
+  const algo::KknpsAlgorithm algo;
+  sched::SSyncScheduler sched(4);
+  Engine engine({{1.0, 1.0}, {1.0, 1.0}, {1.0, 1.0}, {1.0, 1.0}}, algo, sched, exact());
+  engine.run(100);
+  EXPECT_DOUBLE_EQ(engine.current_diameter(), 0.0);
+}
+
+TEST(LargeSwarm, HundredRobotsConvergeUnderKAsync) {
+  const std::size_t n = 100;
+  const algo::KknpsAlgorithm algo({.k = 2});
+  const auto initial = metrics::random_connected_configuration(n, 4.0, 1.0, 404);
+  sched::KAsyncScheduler::Params p;
+  p.k = 2;
+  p.seed = 404;
+  sched::KAsyncScheduler sched(n, p);
+  EngineConfig cfg;
+  cfg.visibility.radius = 1.0;
+  Engine engine(initial, algo, sched, cfg);
+  EXPECT_TRUE(engine.run_until_converged(0.1, 3000000, 512));
+  EXPECT_TRUE(metrics::analyze(engine.trace(), 1.0, 0.1).cohesive);
+}
+
+TEST(HullDiminishing, AndoInSSyncNeverGrowsHull) {
+  const algo::AndoAlgorithm algo(1.0);
+  const auto initial = metrics::random_connected_configuration(12, 1.6, 1.0, 51);
+  sched::SSyncScheduler sched(initial.size());
+  Engine engine(initial, algo, sched, exact());
+  engine.run(4000);
+  const auto hull0 = geom::convex_hull(initial);
+  const auto& trace = engine.trace();
+  for (double t = 0.0; t <= trace.end_time(); t += trace.end_time() / 25.0) {
+    for (const Vec2 p : trace.configuration(t)) {
+      EXPECT_TRUE(geom::hull_contains(hull0, p, 1e-7));
+    }
+  }
+}
+
+TEST(HullDiminishing, KatreniakInOneAsyncNeverGrowsHull) {
+  const algo::KatreniakAlgorithm algo;
+  const auto initial = metrics::random_connected_configuration(10, 1.4, 1.0, 52);
+  sched::KAsyncScheduler::Params p;
+  p.k = 1;
+  p.seed = 52;
+  sched::KAsyncScheduler sched(initial.size(), p);
+  Engine engine(initial, algo, sched, exact());
+  engine.run(4000);
+  const auto hull0 = geom::convex_hull(initial);
+  const auto& trace = engine.trace();
+  for (double t = 0.0; t <= trace.end_time(); t += trace.end_time() / 25.0) {
+    for (const Vec2 p : trace.configuration(t)) {
+      EXPECT_TRUE(geom::hull_contains(hull0, p, 1e-7));
+    }
+  }
+}
+
+TEST(Rounds, FSyncRoundsMatchSchedulerRounds) {
+  const algo::NullAlgorithm algo;
+  sched::FSyncScheduler sched(5);
+  Engine engine(metrics::line_configuration(5, 0.5), algo, sched, exact());
+  engine.run(5 * 7);  // 7 full FSync rounds
+  const auto bounds = engine.trace().round_boundaries();
+  // Initial boundary + one per completed round.
+  EXPECT_EQ(bounds.size(), 8u);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_GT(bounds[i], bounds[i - 1]);
+  }
+}
+
+TEST(Rounds, AsyncRoundsAreWellOrdered) {
+  const algo::KknpsAlgorithm algo({.k = 3});
+  sched::KAsyncScheduler::Params p;
+  p.k = 3;
+  p.seed = 8;
+  sched::KAsyncScheduler sched(9, p);
+  Engine engine(metrics::line_configuration(9, 0.7), algo, sched, exact());
+  engine.run(2000);
+  const auto bounds = engine.trace().round_boundaries();
+  EXPECT_GT(bounds.size(), 2u);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_GT(bounds[i], bounds[i - 1]);
+  }
+}
+
+TEST(Collisions, KknpsPermitsButToleratesCoincidence) {
+  // KKNPS does not promise collision avoidance; if robots meet, the run
+  // must still progress (the multiplicity-collapse path in the engine).
+  const algo::KknpsAlgorithm algo;
+  sched::FSyncScheduler sched(3);
+  // Symmetric triple that contracts through the centroid.
+  Engine engine({{0.0, 0.0}, {0.8, 0.0}, {0.4, 0.69}}, algo, sched, exact());
+  EXPECT_TRUE(engine.run_until_converged(1e-4, 200000));
+}
+
+TEST(Stability, ConvergedSwarmStaysConverged) {
+  // Once within epsilon, further activations never re-expand the swarm
+  // (maintenance half of the Convergence predicate).
+  const algo::KknpsAlgorithm algo({.k = 2});
+  sched::KAsyncScheduler::Params p;
+  p.k = 2;
+  p.seed = 13;
+  sched::KAsyncScheduler sched(8, p);
+  Engine engine(metrics::line_configuration(8, 0.6), algo, sched, exact());
+  EXPECT_TRUE(engine.run_until_converged(0.05, 500000));
+  const double at_convergence = engine.current_diameter();
+  engine.run(5000);  // keep scheduling
+  EXPECT_LE(engine.current_diameter(), at_convergence + 1e-9);
+}
+
+}  // namespace
+}  // namespace cohesion

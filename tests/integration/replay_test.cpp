@@ -1,0 +1,97 @@
+// Replay pipeline: a run exported through trace_io and re-imported must
+// yield identical analysis results — the offline-analysis workflow of the
+// CLI tool (cohesion_sim --trace).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "algo/kknps.hpp"
+#include "core/engine.hpp"
+#include "core/trace_io.hpp"
+#include "core/validators.hpp"
+#include "metrics/configurations.hpp"
+#include "metrics/stats.hpp"
+#include "sched/asynchronous.hpp"
+
+namespace cohesion {
+namespace {
+
+TEST(Replay, AnalysisIdenticalAfterRoundTrip) {
+  const algo::KknpsAlgorithm algo({.k = 2});
+  const auto initial = metrics::random_connected_configuration(12, 1.6, 1.0, 99);
+  sched::KAsyncScheduler::Params p;
+  p.k = 2;
+  p.seed = 99;
+  p.xi = 0.5;
+  sched::KAsyncScheduler sched(initial.size(), p);
+  core::EngineConfig cfg;
+  cfg.visibility.radius = 1.0;
+  cfg.seed = 99;
+  cfg.error.distance_delta = 0.02;
+  core::Engine engine(initial, algo, sched, cfg);
+  engine.run(3000);
+
+  std::stringstream buf;
+  core::write_trace_csv(engine.trace(), buf);
+  const core::Trace replayed = core::read_trace_csv(buf);
+
+  const auto a = metrics::analyze(engine.trace(), 1.0, 0.05);
+  const auto b = metrics::analyze(replayed, 1.0, 0.05);
+  EXPECT_EQ(a.converged, b.converged);
+  EXPECT_DOUBLE_EQ(a.initial_diameter, b.initial_diameter);
+  EXPECT_DOUBLE_EQ(a.final_diameter, b.final_diameter);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.rounds_to_halve, b.rounds_to_halve);
+  EXPECT_EQ(a.activations, b.activations);
+  EXPECT_EQ(a.cohesive, b.cohesive);
+  EXPECT_DOUBLE_EQ(a.worst_stretch, b.worst_stretch);
+}
+
+TEST(Replay, ValidatorsAgreeAfterRoundTrip) {
+  const algo::KknpsAlgorithm algo({.k = 3});
+  const auto initial = metrics::line_configuration(7, 0.8);
+  sched::KAsyncScheduler::Params p;
+  p.k = 3;
+  p.seed = 31;
+  sched::KAsyncScheduler sched(initial.size(), p);
+  core::EngineConfig cfg;
+  cfg.visibility.radius = 1.0;
+  core::Engine engine(initial, algo, sched, cfg);
+  engine.run(800);
+
+  std::stringstream buf;
+  core::write_trace_csv(engine.trace(), buf);
+  const core::Trace replayed = core::read_trace_csv(buf);
+
+  EXPECT_EQ(core::max_activations_within_interval(engine.trace()),
+            core::max_activations_within_interval(replayed));
+  EXPECT_EQ(core::is_k_async(engine.trace(), 3), core::is_k_async(replayed, 3));
+  EXPECT_EQ(core::is_nested_activation(engine.trace()), core::is_nested_activation(replayed));
+}
+
+TEST(Replay, StatsOverTimeMatchesDirectSampling) {
+  const algo::KknpsAlgorithm algo({.k = 1});
+  const auto initial = metrics::line_configuration(5, 0.7);
+  sched::KAsyncScheduler sched(initial.size());
+  core::EngineConfig cfg;
+  cfg.visibility.radius = 1.0;
+  core::Engine engine(initial, algo, sched, cfg);
+  engine.run(500);
+
+  const std::vector<core::Time> times{0.0, 1.0, 5.0, 20.0, engine.trace().end_time()};
+  const auto series = metrics::stats_over_time(engine.trace(), times, 1.0);
+  ASSERT_EQ(series.size(), times.size());
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    const auto direct = metrics::configuration_stats(engine.trace().configuration(times[i]), 1.0);
+    EXPECT_DOUBLE_EQ(series[i].diameter, direct.diameter);
+    EXPECT_DOUBLE_EQ(series[i].hull_perimeter, direct.hull_perimeter);
+    EXPECT_EQ(series[i].connected, direct.connected);
+  }
+  // Diameter non-increasing over the sampled times (hull-diminishing).
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_LE(series[i].diameter, series[i - 1].diameter + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace cohesion

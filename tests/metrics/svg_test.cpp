@@ -1,0 +1,80 @@
+#include "metrics/svg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "algo/kknps.hpp"
+#include "core/engine.hpp"
+#include "metrics/configurations.hpp"
+#include "sched/synchronous.hpp"
+
+namespace cohesion::metrics {
+namespace {
+
+TEST(Svg, ConfigurationContainsRobotsAndEdges) {
+  const auto pts = line_configuration(4, 0.5);
+  const std::string svg = render_configuration(pts, 0.6);
+  // 4 robots, 3 visibility edges.
+  std::size_t circles = 0, lines = 0, pos = 0;
+  while ((pos = svg.find("<circle", pos)) != std::string::npos) {
+    ++circles;
+    ++pos;
+  }
+  pos = 0;
+  while ((pos = svg.find("<line", pos)) != std::string::npos) {
+    ++lines;
+    ++pos;
+  }
+  EXPECT_EQ(circles, 4u);
+  EXPECT_EQ(lines, 3u);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(Svg, DisksOptionAddsCircles) {
+  const auto pts = line_configuration(3, 0.5);
+  SvgStyle style;
+  style.draw_visibility_disks = true;
+  const std::string svg = render_configuration(pts, 0.6, style);
+  std::size_t circles = 0, pos = 0;
+  while ((pos = svg.find("<circle", pos)) != std::string::npos) {
+    ++circles;
+    ++pos;
+  }
+  EXPECT_EQ(circles, 6u);  // 3 robots + 3 visibility disks
+}
+
+TEST(Svg, TraceRenderingHasTrajectories) {
+  const algo::KknpsAlgorithm algo;
+  sched::FSyncScheduler sched(5);
+  core::EngineConfig cfg;
+  cfg.visibility.radius = 1.0;
+  core::Engine engine(line_configuration(5, 0.8), algo, sched, cfg);
+  engine.run(200);
+  const std::string svg = render_trace(engine.trace(), 1.0, 50);
+  std::size_t polylines = 0, pos = 0;
+  while ((pos = svg.find("<polyline", pos)) != std::string::npos) {
+    ++polylines;
+    ++pos;
+  }
+  EXPECT_EQ(polylines, 5u);  // one trajectory per robot
+}
+
+TEST(Svg, WriteToFile) {
+  const auto pts = line_configuration(3, 0.5);
+  const std::string path = ::testing::TempDir() + "/cohesion_svg_test.svg";
+  write_svg(path, render_configuration(pts, 0.6));
+  std::ifstream f(path);
+  std::string first;
+  std::getline(f, first);
+  EXPECT_NE(first.find("<svg"), std::string::npos);
+}
+
+TEST(Svg, DegenerateSingleRobot) {
+  const std::string svg = render_configuration({{1.0, 1.0}}, 1.0);
+  EXPECT_NE(svg.find("<circle"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cohesion::metrics
