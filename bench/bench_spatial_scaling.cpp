@@ -1,0 +1,79 @@
+// E13 — spatial-index scaling: engine throughput of the grid + kinematic-
+// cache hot path vs the brute-force reference (EngineConfig::
+// use_spatial_index = false) across swarm sizes n in {16, 64, 256, 1024,
+// 4096}. Both paths produce bit-identical traces (see
+// tests/core/engine_equivalence_test.cpp); only the work per Look differs:
+// O(cells + neighbors) amortized vs O(n log k). The acceptance bar is a
+// >= 5x activations/sec advantage at n = 1024. The brute-force series stops
+// at 1024 — beyond that a single reference run dominates the whole bench.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "algo/kknps.hpp"
+#include "core/engine.hpp"
+#include "metrics/configurations.hpp"
+#include "sched/asynchronous.hpp"
+#include "sched/synchronous.hpp"
+
+using namespace cohesion;
+
+namespace {
+
+constexpr std::size_t kActivationsPerRobot = 8;
+
+void run_fsync(benchmark::State& state, bool use_spatial_index) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const algo::KknpsAlgorithm algo({.k = 1});
+  const auto initial =
+      metrics::grid_configuration(n, 0.75);
+  const std::size_t activations = n * kActivationsPerRobot;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sched::FSyncScheduler sched(n);
+    core::EngineConfig cfg;
+    cfg.visibility.radius = 1.0;
+    cfg.use_spatial_index = use_spatial_index;
+    core::Engine engine(initial, algo, sched, cfg);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(engine.run(activations));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(activations));
+}
+
+void run_kasync(benchmark::State& state, bool use_spatial_index) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const algo::KknpsAlgorithm algo({.k = 1});
+  const auto initial =
+      metrics::grid_configuration(n, 0.75);
+  const std::size_t activations = n * kActivationsPerRobot;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sched::KAsyncScheduler sched(n, {.seed = 11});
+    core::EngineConfig cfg;
+    cfg.visibility.radius = 1.0;
+    cfg.use_spatial_index = use_spatial_index;
+    core::Engine engine(initial, algo, sched, cfg);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(engine.run(activations));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(activations));
+}
+
+void BM_FSyncGrid(benchmark::State& state) { run_fsync(state, true); }
+void BM_FSyncBrute(benchmark::State& state) { run_fsync(state, false); }
+void BM_KAsyncGrid(benchmark::State& state) { run_kasync(state, true); }
+void BM_KAsyncBrute(benchmark::State& state) { run_kasync(state, false); }
+
+BENCHMARK(BM_FSyncGrid)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FSyncBrute)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_KAsyncGrid)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_KAsyncBrute)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Runs every bench executable in the build tree with JSON output and distills
+# the engine-throughput trajectory into BENCH_engine.json so successive PRs
+# have a perf baseline to compare against.
+#
+# Usage: bench/run_benches.sh [BUILD_DIR] [OUT_DIR]
+#   BUILD_DIR  cmake build tree containing the bench_* executables (default: build)
+#   OUT_DIR    where per-bench JSON and BENCH_engine.json land (default: bench/out)
+#
+# Env:
+#   BENCH_MIN_TIME   --benchmark_min_time per bench (default 0.1s: trajectory
+#                    tracking, not microbenchmark-grade precision)
+#   BENCH_FILTER     glob over bench executable names (default: all)
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+OUT_DIR=${2:-bench/out}
+MIN_TIME=${BENCH_MIN_TIME:-0.1}
+FILTER=${BENCH_FILTER:-bench_*}
+
+cd "$(dirname "$0")/.."
+mkdir -p "$OUT_DIR"
+
+found=0
+for exe in "$BUILD_DIR"/$FILTER; do
+  [ -x "$exe" ] || continue
+  name=$(basename "$exe")
+  found=1
+  echo "== $name"
+  "$exe" --benchmark_format=json --benchmark_min_time="$MIN_TIME" \
+         --benchmark_out="$OUT_DIR/$name.json" --benchmark_out_format=json \
+    > /dev/null || { echo "   FAILED (continuing)"; rm -f "$OUT_DIR/$name.json"; }
+done
+if [ "$found" = 0 ]; then
+  echo "No bench executables under $BUILD_DIR/ — build with COHESION_BUILD_BENCHES=ON" >&2
+  exit 1
+fi
+
+# Distill activations/sec per swarm size from the engine benches into one
+# trajectory file: {bench -> {benchmark_name -> items_per_second}}.
+python3 - "$OUT_DIR" <<'EOF'
+import json, pathlib, sys
+
+out_dir = pathlib.Path(sys.argv[1])
+engine = {}
+for path in sorted(out_dir.glob("bench_*.json")):
+    if path.name not in ("bench_engine_throughput.json", "bench_spatial_scaling.json"):
+        continue
+    data = json.loads(path.read_text())
+    series = {
+        b["name"]: round(b["items_per_second"], 1)
+        for b in data.get("benchmarks", [])
+        if "items_per_second" in b
+    }
+    if series:
+        engine[path.stem] = series
+
+summary = {"context": "activations/sec (items_per_second) per benchmark", "engine": engine}
+target = out_dir / "BENCH_engine.json"
+target.write_text(json.dumps(summary, indent=2) + "\n")
+print(f"wrote {target}")
+for bench, series in engine.items():
+    for name, ips in series.items():
+        print(f"  {name}: {ips:,.0f} activations/s")
+EOF

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <stdexcept>
 
 #include "geometry/convex_hull.hpp"
@@ -10,51 +11,130 @@ namespace cohesion::core {
 
 using geom::Vec2;
 
+namespace {
+
+/// Resolution below which two perceived positions count as one robot
+/// (paper footnote 4).
+constexpr double kColocationEps = 1e-12;
+
+}  // namespace
+
 Engine::Engine(std::vector<Vec2> initial, const Algorithm& algorithm, Scheduler& scheduler,
                EngineConfig config)
     : algorithm_(algorithm),
       scheduler_(scheduler),
       config_(std::move(config)),
       trace_(std::move(initial)),
+      kin_(trace_.initial_configuration()),
       busy_until_(trace_.robot_count(), 0.0),
       activation_counts_(trace_.robot_count(), 0),
       crashed_(trace_.robot_count(), false),
       rng_(config_.seed) {
   if (trace_.robot_count() == 0) throw std::invalid_argument("Engine: empty configuration");
+  double max_radius = config_.visibility.radius;
+  if (!config_.visibility.per_robot_radii.empty()) {
+    max_radius = *std::max_element(config_.visibility.per_robot_radii.begin(),
+                                   config_.visibility.per_robot_radii.end());
+  }
+  grid_.set_cell_size(max_radius);
 }
 
-Snapshot Engine::honest_snapshot(RobotId robot, Time t, const LocalFrame& frame) {
+Vec2 Engine::position(RobotId robot, Time t) const {
+  if (config_.use_spatial_index && t >= kin_.segment_start(robot)) {
+    return kin_.position_at(robot, t);
+  }
+  return trace_.position(robot, t);
+}
+
+void Engine::refresh_grid(Time t) {
+  if (grid_valid_ && grid_time_ == t) return;
+  const std::size_t n = trace_.robot_count();
+  positions_now_.resize(n);
+  for (RobotId r = 0; r < n; ++r) {
+    // The cache is exact from the current segment's Look onward; the
+    // scheduler may propose a Look up to 1e-12 before the frontier, where
+    // only the Trace is.
+    positions_now_[r] = t >= kin_.segment_start(r) ? kin_.position_at(r, t)
+                                                   : trace_.position(r, t);
+  }
+  grid_.rebuild(positions_now_);
+  grid_time_ = t;
+  grid_valid_ = true;
+}
+
+void Engine::snapshot_via_grid(RobotId robot, Time t, const LocalFrame& frame, Snapshot& snap) {
+  refresh_grid(t);
+  const Vec2 self = positions_now_[robot];
+  const double v = config_.visibility.radius_of(robot);
+  grid_.neighbors_within(self, v, config_.visibility.open_ball, neighbor_ids_);
+  snap.neighbours.reserve(neighbor_ids_.size());
+  for (const std::size_t other : neighbor_ids_) {
+    if (other == robot) continue;
+    snap.neighbours.push_back({frame.perceive(positions_now_[other] - self, rng_), false});
+  }
+}
+
+void Engine::snapshot_via_scan(RobotId robot, Time t, const LocalFrame& frame, Snapshot& snap) {
   const Vec2 self = trace_.position(robot, t);
   const double v = config_.visibility.radius_of(robot);
-  Snapshot snap;
   for (RobotId other = 0; other < trace_.robot_count(); ++other) {
     if (other == robot) continue;
     const Vec2 p = trace_.position(other, t);
     const double d = self.distance_to(p);
-    const bool visible = config_.visibility.open_ball ? (d < v) : (d <= v + 1e-12);
+    const bool visible = config_.visibility.open_ball ? (d < v) : (d <= v + kVisibilityEpsilon);
     if (!visible) continue;
     snap.neighbours.push_back({frame.perceive(p - self, rng_), false});
   }
+}
+
+void Engine::resolve_multiplicity(Snapshot& snap) {
+  auto& nb = snap.neighbours;
   if (!config_.visibility.multiplicity_detection) {
     // Co-located robots are perceived as a single robot (paper footnote 4):
     // collapse perceived positions closer than a resolution threshold.
-    auto& v_ = snap.neighbours;
     std::vector<ObservedRobot> collapsed;
-    for (const auto& o : v_) {
+    for (const auto& o : nb) {
       const bool dup = std::any_of(collapsed.begin(), collapsed.end(), [&](const ObservedRobot& c) {
-        return geom::almost_equal(c.position, o.position, 1e-12);
+        return geom::almost_equal(c.position, o.position, kColocationEps);
       });
       if (!dup) collapsed.push_back(o);
     }
-    v_ = std::move(collapsed);
-  } else {
-    for (auto& o : snap.neighbours) {
-      o.multiplicity = std::count_if(snap.neighbours.begin(), snap.neighbours.end(),
-                                     [&](const ObservedRobot& c) {
-                                       return geom::almost_equal(c.position, o.position, 1e-12);
-                                     }) > 1;
+    nb = std::move(collapsed);
+    return;
+  }
+  // Flag every robot that shares its perceived position with another.
+  // Sort-and-group: after sorting by (x, y), any almost-equal partner of an
+  // element lies in the forward window where the x gap is still <= eps, so
+  // one windowed sweep replaces the quadratic count_if per element.
+  const std::size_t k = nb.size();
+  if (k < 2) return;
+  mult_order_.resize(k);
+  std::iota(mult_order_.begin(), mult_order_.end(), 0u);
+  std::sort(mult_order_.begin(), mult_order_.end(), [&](std::uint32_t a, std::uint32_t b) {
+    const Vec2 pa = nb[a].position, pb = nb[b].position;
+    return pa.x != pb.x ? pa.x < pb.x : pa.y < pb.y;
+  });
+  for (std::size_t i = 0; i < k; ++i) {
+    const Vec2 pi = nb[mult_order_[i]].position;
+    for (std::size_t j = i + 1; j < k; ++j) {
+      const Vec2 pj = nb[mult_order_[j]].position;
+      if (pj.x - pi.x > kColocationEps) break;
+      if (std::abs(pj.y - pi.y) <= kColocationEps) {
+        nb[mult_order_[i]].multiplicity = true;
+        nb[mult_order_[j]].multiplicity = true;
+      }
     }
   }
+}
+
+Snapshot Engine::honest_snapshot(RobotId robot, Time t, const LocalFrame& frame) {
+  Snapshot snap;
+  if (config_.use_spatial_index) {
+    snapshot_via_grid(robot, t, frame, snap);
+  } else {
+    snapshot_via_scan(robot, t, frame, snap);
+  }
+  resolve_multiplicity(snap);
   return snap;
 }
 
@@ -84,7 +164,7 @@ bool Engine::step() {
   if (perception_hook_) snap = perception_hook_(a.robot, a.t_look, snap);
 
   // --- Compute ---
-  const Vec2 self = trace_.position(a.robot, a.t_look);
+  const Vec2 self = position(a.robot, a.t_look);
   Vec2 local_destination = crashed_[a.robot] ? Vec2{0.0, 0.0} : algorithm_.compute(snap);
   const Vec2 planned = self + frame.intent_to_global(local_destination);
 
@@ -95,6 +175,12 @@ bool Engine::step() {
 
   ActivationRecord rec{a, self, planned, realized, snap.size()};
   trace_.record(rec);
+  kin_.commit(rec);
+  // A commit leaves every position at its own Look time unchanged — except
+  // a zero-duration move (t_move_end == t_look), which teleports the robot
+  // to `realized` at that very instant; a grid built at this Look must not
+  // serve later Looks at it then.
+  if (grid_valid_ && a.t_move_end <= grid_time_) grid_valid_ = false;
   busy_until_[a.robot] = a.t_move_end;
   frontier_ = a.t_look;
   ++activation_counts_[a.robot];
@@ -121,8 +207,13 @@ bool Engine::run_until_converged(double epsilon, std::size_t max_activations,
 
 std::vector<Vec2> Engine::current_configuration() const {
   // Evaluate at the end of all committed motion: the configuration "if
-  // nothing further is scheduled".
-  return trace_.configuration(trace_.end_time() + 1.0);
+  // nothing further is scheduled". That instant is at or after every
+  // committed Look, so the kinematic cache answers in O(n) total.
+  const Time t = trace_.end_time() + 1.0;
+  if (!config_.use_spatial_index) return trace_.configuration(t);
+  std::vector<Vec2> out(trace_.robot_count());
+  for (RobotId r = 0; r < out.size(); ++r) out[r] = kin_.position_at(r, t);
+  return out;
 }
 
 double Engine::current_diameter() const {

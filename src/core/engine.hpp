@@ -6,6 +6,29 @@
 // robot's exact position by piecewise-linear interpolation — which yields
 // the Async semantics of the paper: a Look may catch another robot anywhere
 // along its current trajectory.
+//
+// Positions live in two tiers:
+//
+//  * Trace — the append-only full history. Replay, validators, metrics and
+//    serialization consume it; reconstructing a position from it costs a
+//    binary search over the robot's activation history.
+//  * KinematicState — each robot's *current* trajectory segment, updated on
+//    commit. Since commits arrive in non-decreasing Look order, every
+//    position the hot path needs (at or after the latest segment's Look) is
+//    an O(1) interpolation of that segment, bit-identical to what the Trace
+//    would reconstruct.
+//
+// Each Look evaluates all current positions once through the cache, indexes
+// them in a uniform grid (SpatialGrid, cell side = the visibility radius),
+// and builds the snapshot from the <= 3x3 cells around the looking robot
+// instead of scanning all n robots. Consecutive Looks at the same time
+// (synchronous rounds) reuse the same grid: a commit leaves every position
+// at its own Look time unchanged, except a zero-duration move — which drops
+// the cached grid (see Engine::step). The pre-index brute-force path
+// is kept, selectable via EngineConfig::use_spatial_index = false, as the
+// reference for equivalence tests and speedup benchmarks; both paths apply
+// the identical visibility predicate and draw RNG in the identical order,
+// so they produce bit-identical traces.
 #pragma once
 
 #include <functional>
@@ -16,7 +39,9 @@
 #include "core/activation.hpp"
 #include "core/algorithm.hpp"
 #include "core/error_model.hpp"
+#include "core/kinematics.hpp"
 #include "core/scheduler.hpp"
+#include "core/spatial_index.hpp"
 #include "core/trace.hpp"
 #include "core/types.hpp"
 #include "geometry/vec2.hpp"
@@ -39,6 +64,10 @@ struct EngineConfig {
   VisibilityModel visibility;
   ErrorModel error;
   std::uint64_t seed = 1;
+  /// Grid + kinematic-cache hot path. false selects the reference
+  /// brute-force scan over the Trace (bit-identical results, O(n log k)
+  /// per snapshot) — used by equivalence tests and scaling benchmarks.
+  bool use_spatial_index = true;
 };
 
 /// Hook that lets an adversary replace the perceived snapshot of a given
@@ -58,9 +87,7 @@ class Engine final : public SimulationView {
   [[nodiscard]] std::size_t robot_count() const override { return trace_.robot_count(); }
   [[nodiscard]] Time busy_until(RobotId robot) const override { return busy_until_.at(robot); }
   [[nodiscard]] Time frontier() const override { return frontier_; }
-  [[nodiscard]] geom::Vec2 position(RobotId robot, Time t) const override {
-    return trace_.position(robot, t);
-  }
+  [[nodiscard]] geom::Vec2 position(RobotId robot, Time t) const override;
   [[nodiscard]] std::size_t activations_of(RobotId robot) const override {
     return activation_counts_.at(robot);
   }
@@ -90,17 +117,34 @@ class Engine final : public SimulationView {
 
  private:
   [[nodiscard]] Snapshot honest_snapshot(RobotId robot, Time t, const LocalFrame& frame);
+  /// Visible-neighbor enumeration via grid cells (positions through the
+  /// kinematic cache, grid rebuilt per distinct look time).
+  void snapshot_via_grid(RobotId robot, Time t, const LocalFrame& frame, Snapshot& snap);
+  /// Reference visible-neighbor enumeration: full scan over Trace positions.
+  void snapshot_via_scan(RobotId robot, Time t, const LocalFrame& frame, Snapshot& snap);
+  /// Collapse or flag co-located perceived robots (paper footnote 4).
+  void resolve_multiplicity(Snapshot& snap);
+  /// Ensure positions_now_/grid_ describe time `t`.
+  void refresh_grid(Time t);
 
   const Algorithm& algorithm_;
   Scheduler& scheduler_;
   EngineConfig config_;
   Trace trace_;
+  KinematicState kin_;
   std::vector<Time> busy_until_;
   std::vector<std::size_t> activation_counts_;
   std::vector<bool> crashed_;
   Time frontier_ = 0.0;
   std::mt19937_64 rng_;
   PerceptionHook perception_hook_;
+
+  SpatialGrid grid_;
+  std::vector<geom::Vec2> positions_now_;   // all positions at grid_time_
+  std::vector<std::size_t> neighbor_ids_;   // query scratch
+  std::vector<std::uint32_t> mult_order_;   // multiplicity sort scratch
+  Time grid_time_ = 0.0;
+  bool grid_valid_ = false;
 };
 
 }  // namespace cohesion::core

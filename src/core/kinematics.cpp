@@ -1,0 +1,37 @@
+#include "core/kinematics.hpp"
+
+namespace cohesion::core {
+
+using geom::Vec2;
+
+KinematicState::KinematicState(const std::vector<Vec2>& initial)
+    : segments_(initial.size()) {
+  for (std::size_t r = 0; r < initial.size(); ++r) {
+    segments_[r].from = initial[r];
+    segments_[r].realized = initial[r];
+  }
+}
+
+void KinematicState::commit(const ActivationRecord& rec) {
+  Segment& s = segments_.at(rec.activation.robot);
+  s.from = rec.from;
+  s.realized = rec.realized;
+  s.t_look = rec.activation.t_look;
+  s.t_move_start = rec.activation.t_move_start;
+  s.t_move_end = rec.activation.t_move_end;
+}
+
+Vec2 KinematicState::position_at(RobotId robot, Time t) const {
+  // Mirrors the tail of Trace::position exactly — same branches, same
+  // arithmetic — so both tiers agree to the last bit.
+  const Segment& s = segments_[robot];
+  if (t >= s.t_move_end) return s.realized;
+  if (t >= s.t_move_start) {
+    const Time span = s.t_move_end - s.t_move_start;
+    const double frac = span > 0.0 ? (t - s.t_move_start) / span : 1.0;
+    return geom::lerp(s.from, s.realized, frac);
+  }
+  return s.from;
+}
+
+}  // namespace cohesion::core

@@ -1,0 +1,57 @@
+// Incremental per-robot kinematic state: the robot's *current* trajectory
+// segment, updated on every commit.
+//
+// The engine's hot path needs every robot's position at the current Look
+// time. Reconstructing that from the Trace costs a binary search over the
+// robot's full activation history per query; but because activations commit
+// in non-decreasing Look order, only the most recent segment of each robot
+// can ever matter at or after its own Look time. KinematicState keeps
+// exactly that segment ({from, realized, t_look, t_move_start, t_move_end})
+// per robot, so position_at(robot, t) is O(1) for any t >= segment_start(
+// robot) — and is bit-identical to Trace::position there, because it runs
+// the same interpolation arithmetic on the same committed values. Queries
+// before the current segment's Look (possible only through the scheduler's
+// 1e-12 look-ordering slack) must fall back to the Trace.
+#pragma once
+
+#include <vector>
+
+#include "core/activation.hpp"
+#include "core/types.hpp"
+#include "geometry/vec2.hpp"
+
+namespace cohesion::core {
+
+class KinematicState {
+ public:
+  KinematicState() = default;
+  explicit KinematicState(const std::vector<geom::Vec2>& initial);
+
+  /// Replace `rec.activation.robot`'s current segment. Records must arrive
+  /// in the engine's commit order (non-decreasing t_look).
+  void commit(const ActivationRecord& rec);
+
+  /// Position of `robot` at `t`. Exact (bit-identical to Trace::position)
+  /// for t >= segment_start(robot); undefined earlier.
+  [[nodiscard]] geom::Vec2 position_at(RobotId robot, Time t) const;
+
+  /// Look time of the robot's current segment (0 before any activation; the
+  /// initial segment is valid at every time).
+  [[nodiscard]] Time segment_start(RobotId robot) const {
+    return segments_[robot].t_look;
+  }
+
+  [[nodiscard]] std::size_t robot_count() const { return segments_.size(); }
+
+ private:
+  struct Segment {
+    geom::Vec2 from;
+    geom::Vec2 realized;
+    Time t_look = 0.0;
+    Time t_move_start = 0.0;
+    Time t_move_end = 0.0;
+  };
+  std::vector<Segment> segments_;
+};
+
+}  // namespace cohesion::core

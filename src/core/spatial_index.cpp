@@ -1,0 +1,130 @@
+#include "core/spatial_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cohesion::core {
+
+namespace {
+
+// Cells whose floored coordinate would overflow the packing range are clamped
+// onto the boundary cell. Clamping (and the 32-bit key packing below) may
+// alias distinct far-away cells onto one bucket; that only enlarges the
+// candidate set, and the exact distance predicate discards the aliases, so
+// query results are unaffected.
+constexpr double kMaxCell = 9.0e15;
+
+std::size_t next_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+void SpatialGrid::set_cell_size(double cell_size) {
+  cell_ = (std::isfinite(cell_size) && cell_size > 0.0) ? cell_size : 1.0;
+  inv_cell_ = 1.0 / cell_;
+  points_ = nullptr;
+  next_.clear();
+}
+
+std::int64_t SpatialGrid::cell_of(double coord) const {
+  double c = std::floor(coord * inv_cell_);
+  if (std::isnan(c)) c = 0.0;
+  c = std::clamp(c, -kMaxCell, kMaxCell);
+  return static_cast<std::int64_t>(c);
+}
+
+std::uint64_t SpatialGrid::cell_key(std::int64_t cx, std::int64_t cy) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(cy));
+}
+
+std::size_t SpatialGrid::hash_key(std::uint64_t key) {
+  // splitmix64 finalizer: adjacent cell keys must not cluster in the table.
+  key += 0x9e3779b97f4a7c15ULL;
+  key = (key ^ (key >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  key = (key ^ (key >> 27)) * 0x94d049bb133111ebULL;
+  return static_cast<std::size_t>(key ^ (key >> 31));
+}
+
+std::size_t SpatialGrid::find_slot(std::uint64_t key) const {
+  std::size_t i = hash_key(key) & mask_;
+  while (slot_stamp_[i] == stamp_ && slot_key_[i] != key) i = (i + 1) & mask_;
+  return i;
+}
+
+void SpatialGrid::ensure_capacity(std::size_t point_count) {
+  // Keep load factor <= 1/2 relative to the worst case of one cell per point.
+  const std::size_t want = next_pow2(std::max<std::size_t>(16, point_count * 2));
+  if (slot_key_.size() < want) {
+    slot_key_.assign(want, 0);
+    slot_head_.assign(want, -1);
+    slot_stamp_.assign(want, 0);
+    mask_ = want - 1;
+    stamp_ = 0;
+  }
+}
+
+void SpatialGrid::rebuild(const std::vector<geom::Vec2>& points) {
+  points_ = &points;
+  ensure_capacity(points.size());
+  ++stamp_;
+  next_.assign(points.size(), -1);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const std::uint64_t key = cell_key(cell_of(points[i].x), cell_of(points[i].y));
+    const std::size_t slot = find_slot(key);
+    if (slot_stamp_[slot] != stamp_) {
+      slot_stamp_[slot] = stamp_;
+      slot_key_[slot] = key;
+      slot_head_[slot] = -1;
+    }
+    next_[i] = slot_head_[slot];
+    slot_head_[slot] = static_cast<std::int32_t>(i);
+  }
+}
+
+void SpatialGrid::neighbors_within(geom::Vec2 q, double r, bool open_ball,
+                                   std::vector<std::size_t>& out) const {
+  out.clear();
+  if (points_ == nullptr || next_.empty()) return;
+  const std::vector<geom::Vec2>& pts = *points_;
+  const auto visible = [&](std::size_t i) {
+    const double d = q.distance_to(pts[i]);
+    return open_ball ? (d < r) : (d <= r + kVisibilityEpsilon);
+  };
+
+  // Bounding square of the closed ball (a superset of the open ball too).
+  const double rq = std::max(r, 0.0) + kVisibilityEpsilon;
+  const std::int64_t cx0 = cell_of(q.x - rq), cx1 = cell_of(q.x + rq);
+  const std::int64_t cy0 = cell_of(q.y - rq), cy1 = cell_of(q.y + rq);
+  const std::uint64_t span_x = static_cast<std::uint64_t>(cx1 - cx0) + 1;
+  const std::uint64_t span_y = static_cast<std::uint64_t>(cy1 - cy0) + 1;
+  if (span_x > 64 || span_y > 64 || span_x * span_y > pts.size() + 9) {
+    // Query ball covers more cells than there are points: a direct scan is
+    // cheaper (and trivially exact). Ids come out already ascending.
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      if (visible(i)) out.push_back(i);
+    }
+    return;
+  }
+
+  for (std::int64_t cx = cx0; cx <= cx1; ++cx) {
+    for (std::int64_t cy = cy0; cy <= cy1; ++cy) {
+      const std::size_t slot = find_slot(cell_key(cx, cy));
+      if (slot_stamp_[slot] != stamp_) continue;
+      for (std::int32_t i = slot_head_[slot]; i >= 0; i = next_[i]) {
+        if (visible(static_cast<std::size_t>(i))) {
+          out.push_back(static_cast<std::size_t>(i));
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  // Key aliasing can route one point through two scanned buckets only if two
+  // scanned cells share a slot key; dedupe to keep the contract exact.
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+}  // namespace cohesion::core

@@ -1,0 +1,77 @@
+// Uniform-grid spatial hash for exact fixed-radius neighbor queries.
+//
+// Points are bucketed by the integer cell (floor(x / cell), floor(y / cell))
+// of a grid whose side is typically the visibility radius V. A query
+// enumerates only the cells overlapping the bounding square of the query
+// ball — at most 3x3 cells when the query radius is <= the cell side — and
+// applies the *exact* visibility predicate (closed ball d <= r + 1e-12, or
+// open ball d < r, with d from Vec2::distance_to) to each candidate. The
+// grid therefore changes which pairs are examined, never the predicate, so
+// results are bit-identical to a brute-force scan over all points. Returned
+// ids are sorted ascending, so callers that consume neighbors in id order
+// (e.g. the engine's RNG-drawing perception loop) behave identically to the
+// O(n) scan they replace.
+//
+// The bucket table is open-addressed with stamp-based invalidation, so a
+// rebuild is O(n) with no per-rebuild allocation in steady state — cheap
+// enough to run once per distinct Look time in the engine hot path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/vec2.hpp"
+
+namespace cohesion::core {
+
+/// Closed-ball slack shared by every visibility predicate in the simulator
+/// (engine snapshots, visibility graphs, initial-pair stretch).
+inline constexpr double kVisibilityEpsilon = 1e-12;
+
+class SpatialGrid {
+ public:
+  SpatialGrid() = default;
+  explicit SpatialGrid(double cell_size) { set_cell_size(cell_size); }
+
+  /// Side length of a grid cell; non-positive/non-finite values fall back to
+  /// 1.0. Invalidates the current index.
+  void set_cell_size(double cell_size);
+  [[nodiscard]] double cell_size() const { return cell_; }
+
+  /// Index `points`. The vector is borrowed: it must stay alive and
+  /// unmodified until the next rebuild. O(n) expected.
+  void rebuild(const std::vector<geom::Vec2>& points);
+
+  /// Ids (ascending) of indexed points within the closed (d <= r + 1e-12)
+  /// or open (d < r) ball around `q`. Includes the query point itself when
+  /// it is indexed; callers filter self-matches by id. `out` is overwritten.
+  void neighbors_within(geom::Vec2 q, double r, bool open_ball,
+                        std::vector<std::size_t>& out) const;
+
+  [[nodiscard]] std::size_t size() const { return next_.size(); }
+
+ private:
+  [[nodiscard]] std::int64_t cell_of(double coord) const;
+  [[nodiscard]] static std::uint64_t cell_key(std::int64_t cx, std::int64_t cy);
+  [[nodiscard]] static std::size_t hash_key(std::uint64_t key);
+  /// Index of the slot holding `key` this generation, or of the free slot
+  /// where it would be inserted.
+  [[nodiscard]] std::size_t find_slot(std::uint64_t key) const;
+  void ensure_capacity(std::size_t point_count);
+
+  double cell_ = 1.0;
+  double inv_cell_ = 1.0;
+  const std::vector<geom::Vec2>* points_ = nullptr;
+
+  // Open-addressed cell table: slot i holds (key, head of an intrusive chain
+  // through next_). A slot is live only when its stamp matches stamp_, which
+  // lets rebuild() discard the previous generation without clearing.
+  std::vector<std::uint64_t> slot_key_;
+  std::vector<std::int32_t> slot_head_;
+  std::vector<std::uint64_t> slot_stamp_;
+  std::vector<std::int32_t> next_;
+  std::uint64_t stamp_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace cohesion::core

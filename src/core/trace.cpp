@@ -32,18 +32,6 @@ std::vector<Vec2> Trace::configuration(Time t) const {
   return out;
 }
 
-std::size_t Trace::activation_count(RobotId robot) const {
-  return static_cast<std::size_t>(
-      std::count_if(records_.begin(), records_.end(),
-                    [&](const ActivationRecord& rec) { return rec.activation.robot == robot; }));
-}
-
-Time Trace::end_time() const {
-  Time end = 0.0;
-  for (const ActivationRecord& rec : records_) end = std::max(end, rec.activation.t_move_end);
-  return end;
-}
-
 std::vector<Time> Trace::round_boundaries() const {
   std::vector<Time> bounds{0.0};
   const std::size_t n = initial_.size();

@@ -3,6 +3,7 @@
 // all consume traces.
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "core/activation.hpp"
@@ -20,6 +21,7 @@ class Trace {
   void record(const ActivationRecord& rec) {
     per_robot_.at(rec.activation.robot).push_back(records_.size());
     records_.push_back(rec);
+    end_time_ = std::max(end_time_, rec.activation.t_move_end);
   }
 
   [[nodiscard]] const std::vector<geom::Vec2>& initial_configuration() const { return initial_; }
@@ -33,11 +35,14 @@ class Trace {
   /// Positions of all robots at time `t`.
   [[nodiscard]] std::vector<geom::Vec2> configuration(Time t) const;
 
-  /// Number of completed activations of `robot`.
-  [[nodiscard]] std::size_t activation_count(RobotId robot) const;
+  /// Number of completed activations of `robot`. O(1).
+  [[nodiscard]] std::size_t activation_count(RobotId robot) const {
+    return per_robot_.at(robot).size();
+  }
 
-  /// Time of the last committed move end (0 for an empty trace).
-  [[nodiscard]] Time end_time() const;
+  /// Time of the last committed move end (0 for an empty trace). O(1):
+  /// maintained as a running max by record().
+  [[nodiscard]] Time end_time() const { return end_time_; }
 
   /// Round boundaries: times t_0 < t_1 < ... where each round [t_i, t_{i+1})
   /// is a minimal interval in which every robot completes at least one full
@@ -49,6 +54,7 @@ class Trace {
   std::vector<geom::Vec2> initial_;
   std::vector<ActivationRecord> records_;  // in non-decreasing t_look order
   std::vector<std::vector<std::size_t>> per_robot_;  // record indices per robot
+  Time end_time_ = 0.0;                    // running max of t_move_end
 };
 
 }  // namespace cohesion::core

@@ -2,16 +2,42 @@
 
 #include <algorithm>
 
+#include "core/spatial_index.hpp"
+
 namespace cohesion::core {
+
+namespace {
+
+// Below this size the O(n^2) pairwise scan beats building a hash grid. Both
+// paths apply the identical predicate to an identical candidate order, so
+// the produced edge lists are the same either way.
+constexpr std::size_t kGridThreshold = 64;
+
+}  // namespace
 
 VisibilityGraph::VisibilityGraph(const std::vector<geom::Vec2>& positions, double v,
                                  bool open_ball)
     : n_(positions.size()) {
+  if (n_ < kGridThreshold || !(v > 0.0)) {
+    for (RobotId a = 0; a < n_; ++a) {
+      for (RobotId b = a + 1; b < n_; ++b) {
+        const double d = positions[a].distance_to(positions[b]);
+        const bool vis = open_ball ? (d < v) : (d <= v + kVisibilityEpsilon);
+        if (vis) edges_.emplace_back(a, b);
+      }
+    }
+    return;
+  }
+  // Grid-bucketed construction: O(n + E) expected. neighbors_within returns
+  // ascending ids, so edges come out sorted (a asc, then b asc) exactly like
+  // the pairwise loop above.
+  SpatialGrid grid(v);
+  grid.rebuild(positions);
+  std::vector<std::size_t> nbrs;
   for (RobotId a = 0; a < n_; ++a) {
-    for (RobotId b = a + 1; b < n_; ++b) {
-      const double d = positions[a].distance_to(positions[b]);
-      const bool vis = open_ball ? (d < v) : (d <= v + 1e-12);
-      if (vis) edges_.emplace_back(a, b);
+    grid.neighbors_within(positions[a], v, open_ball, nbrs);
+    for (const std::size_t b : nbrs) {
+      if (b > a) edges_.emplace_back(a, b);
     }
   }
 }
@@ -61,11 +87,27 @@ std::size_t VisibilityGraph::edges_lost(const VisibilityGraph& later) const {
 double worst_initial_pair_stretch(const std::vector<geom::Vec2>& initial,
                                   const std::vector<geom::Vec2>& positions, double v) {
   double worst = 0.0;
-  for (std::size_t a = 0; a < initial.size(); ++a) {
-    for (std::size_t b = a + 1; b < initial.size(); ++b) {
-      if (initial[a].distance_to(initial[b]) <= v + 1e-12) {
-        worst = std::max(worst, positions[a].distance_to(positions[b]) / v);
+  if (initial.size() < kGridThreshold || !(v > 0.0)) {
+    for (std::size_t a = 0; a < initial.size(); ++a) {
+      for (std::size_t b = a + 1; b < initial.size(); ++b) {
+        if (initial[a].distance_to(initial[b]) <= v + kVisibilityEpsilon) {
+          worst = std::max(worst, positions[a].distance_to(positions[b]) / v);
+        }
       }
+    }
+    return worst;
+  }
+  // The initially-visible pairs are a fixed-radius neighbor query over the
+  // *initial* configuration; enumerate them through a grid and evaluate the
+  // stretch at `positions`. Same pair set as the pairwise loop, and max() is
+  // order-independent, so the result is identical.
+  SpatialGrid grid(v);
+  grid.rebuild(initial);
+  std::vector<std::size_t> nbrs;
+  for (std::size_t a = 0; a < initial.size(); ++a) {
+    grid.neighbors_within(initial[a], v, /*open_ball=*/false, nbrs);
+    for (const std::size_t b : nbrs) {
+      if (b > a) worst = std::max(worst, positions[a].distance_to(positions[b]) / v);
     }
   }
   return worst;

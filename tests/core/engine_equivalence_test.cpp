@@ -1,0 +1,231 @@
+// The spatially-indexed hot path must be indistinguishable from the
+// brute-force reference: same seeds -> same ActivationRecords, to the bit.
+// This holds because both paths examine the same visible set through the
+// same predicate and draw RNG in the same (ascending-id) order; these tests
+// sweep schedulers, error models and visibility variants to pin that down.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "algo/baselines.hpp"
+#include "algo/kknps.hpp"
+#include "core/engine.hpp"
+#include "metrics/configurations.hpp"
+#include "sched/asynchronous.hpp"
+#include "sched/synchronous.hpp"
+
+namespace cohesion::core {
+namespace {
+
+using geom::Vec2;
+
+void expect_identical_traces(const Trace& grid, const Trace& brute, std::uint64_t seed) {
+  ASSERT_EQ(grid.records().size(), brute.records().size()) << "seed " << seed;
+  for (std::size_t i = 0; i < grid.records().size(); ++i) {
+    const ActivationRecord& g = grid.records()[i];
+    const ActivationRecord& b = brute.records()[i];
+    EXPECT_EQ(g.activation.robot, b.activation.robot) << "seed " << seed << " rec " << i;
+    EXPECT_EQ(g.activation.t_look, b.activation.t_look) << "seed " << seed << " rec " << i;
+    EXPECT_EQ(g.activation.t_move_start, b.activation.t_move_start)
+        << "seed " << seed << " rec " << i;
+    EXPECT_EQ(g.activation.t_move_end, b.activation.t_move_end)
+        << "seed " << seed << " rec " << i;
+    EXPECT_EQ(g.activation.realized_fraction, b.activation.realized_fraction)
+        << "seed " << seed << " rec " << i;
+    EXPECT_EQ(g.from, b.from) << "seed " << seed << " rec " << i;
+    EXPECT_EQ(g.planned, b.planned) << "seed " << seed << " rec " << i;
+    EXPECT_EQ(g.realized, b.realized) << "seed " << seed << " rec " << i;
+    EXPECT_EQ(g.seen, b.seen) << "seed " << seed << " rec " << i;
+  }
+}
+
+std::unique_ptr<Scheduler> make_scheduler(std::uint64_t seed, std::size_t n) {
+  switch (seed % 4) {
+    case 0:
+      return std::make_unique<sched::FSyncScheduler>(n);
+    case 1: {
+      sched::SSyncScheduler::Params p;
+      p.seed = seed;
+      p.xi = seed % 3 == 0 ? 0.5 : 1.0;
+      return std::make_unique<sched::SSyncScheduler>(n, p);
+    }
+    case 2: {
+      sched::KAsyncScheduler::Params p;
+      p.seed = seed;
+      p.k = 1 + seed % 3;
+      return std::make_unique<sched::KAsyncScheduler>(n, p);
+    }
+    default: {
+      sched::KNestAScheduler::Params p;
+      p.seed = seed;
+      p.k = 1 + seed % 2;
+      return std::make_unique<sched::KNestAScheduler>(n, p);
+    }
+  }
+}
+
+std::vector<Vec2> make_initial(std::uint64_t seed, std::size_t n, double v) {
+  switch (seed % 3) {
+    case 0:
+      return metrics::random_connected_configuration(n, 0.4 * std::sqrt(double(n)), v, seed + 1);
+    case 1:
+      // Spacing exactly v: every chain edge sits on the closed-ball boundary.
+      return metrics::line_configuration(n, v);
+    default:
+      return metrics::grid_configuration(n, 0.8 * v);
+  }
+}
+
+EngineConfig make_config(std::uint64_t seed, std::size_t n, bool use_grid) {
+  EngineConfig cfg;
+  cfg.seed = seed * 7919 + 13;
+  cfg.use_spatial_index = use_grid;
+  cfg.visibility.radius = 1.0;
+  cfg.visibility.open_ball = (seed / 2) % 2 == 1;
+  cfg.visibility.multiplicity_detection = (seed / 4) % 2 == 1;
+  if (seed % 5 == 4) {
+    // Heterogeneous sensing (§6.2): per-robot radii around the common V.
+    std::mt19937_64 radii_rng(seed);
+    std::uniform_real_distribution<double> u(0.6, 1.7);
+    for (std::size_t r = 0; r < n; ++r) cfg.visibility.per_robot_radii.push_back(u(radii_rng));
+  }
+  switch (seed % 6) {
+    case 0:
+      cfg.error.random_rotation = false;  // exact perception, identity frames
+      break;
+    case 1:
+      break;  // random rotation only
+    case 2:
+      cfg.error.distance_delta = 0.05;  // per-neighbour RNG draws in the Look
+      break;
+    case 3:
+      cfg.error.skew_lambda = 0.3;
+      break;
+    case 4:
+      cfg.error.motion_quad_coeff = 0.1;
+      break;
+    default:
+      cfg.error.allow_reflection = true;
+      cfg.error.distance_delta = 0.02;
+      break;
+  }
+  return cfg;
+}
+
+TEST(EngineEquivalence, GridAndBruteForceProduceIdenticalTraces) {
+  const algo::KknpsAlgorithm kknps({.k = 1});
+  const algo::AndoAlgorithm ando(1.0);
+  for (std::uint64_t seed = 0; seed < 160; ++seed) {
+    const std::size_t n = 2 + seed % 31;
+    const auto initial = make_initial(seed, n, 1.0);
+    const Algorithm& algorithm = seed % 2 == 0 ? static_cast<const Algorithm&>(kknps)
+                                               : static_cast<const Algorithm&>(ando);
+
+    const auto sched_grid = make_scheduler(seed, n);
+    Engine grid(initial, algorithm, *sched_grid, make_config(seed, n, /*use_grid=*/true));
+    const auto sched_brute = make_scheduler(seed, n);
+    Engine brute(initial, algorithm, *sched_brute, make_config(seed, n, /*use_grid=*/false));
+
+    if (seed % 7 == 3) {  // fail-stop robots ride along unchanged
+      grid.crash(n / 2);
+      brute.crash(n / 2);
+    }
+
+    const std::size_t steps = 150;
+    ASSERT_EQ(grid.run(steps), brute.run(steps)) << "seed " << seed;
+    expect_identical_traces(grid.trace(), brute.trace(), seed);
+    EXPECT_EQ(grid.current_diameter(), brute.current_diameter()) << "seed " << seed;
+    const auto cfg_grid = grid.current_configuration();
+    const auto cfg_brute = brute.current_configuration();
+    ASSERT_EQ(cfg_grid.size(), cfg_brute.size());
+    for (std::size_t r = 0; r < cfg_grid.size(); ++r) {
+      EXPECT_EQ(cfg_grid[r], cfg_brute[r]) << "seed " << seed << " robot " << r;
+    }
+  }
+}
+
+TEST(EngineEquivalence, LargeSwarmSpotCheck) {
+  // One production-sized configuration: the grid path crosses many cells and
+  // the per-look rebuild is reused across a whole synchronous round.
+  const algo::KknpsAlgorithm kknps({.k = 1});
+  const std::size_t n = 512;
+  const auto initial =
+      metrics::random_connected_configuration(n, 0.4 * std::sqrt(double(n)), 1.0, 42);
+
+  sched::FSyncScheduler sched_grid(n);
+  EngineConfig cfg;
+  cfg.visibility.radius = 1.0;
+  Engine grid(initial, kknps, sched_grid, cfg);
+
+  sched::FSyncScheduler sched_brute(n);
+  cfg.use_spatial_index = false;
+  Engine brute(initial, kknps, sched_brute, cfg);
+
+  const std::size_t steps = n * 4;
+  ASSERT_EQ(grid.run(steps), brute.run(steps));
+  expect_identical_traces(grid.trace(), brute.trace(), 42);
+  EXPECT_EQ(grid.current_diameter(), brute.current_diameter());
+}
+
+TEST(EngineEquivalence, ZeroDurationMovesInvalidateSameTimeGrid) {
+  // A zero-duration move (t_move_end == t_look) relocates the robot *at*
+  // its Look time, so a grid built at that time must not be reused by later
+  // same-time Looks. Several robots commit instantaneous moves at t = 1 and
+  // observe each other at t = 1; grid and brute traces must still agree.
+  const algo::CogAlgorithm cog;
+  const std::vector<Vec2> initial{{0.0, 0.0}, {0.5, 0.0}, {0.9, 0.3}, {0.2, 0.6}};
+  const std::vector<Activation> script{
+      {0, 1.0, 1.0, 1.0, 1.0},  // instantaneous
+      {1, 1.0, 1.0, 1.0, 0.5},  // instantaneous, xi-truncated
+      {2, 1.0, 1.1, 1.4, 1.0},  // ordinary move proposed at the same Look time
+      {3, 1.0, 1.0, 1.0, 1.0},  // instantaneous, after the ordinary one
+      {0, 2.0, 2.0, 2.0, 1.0},
+      {1, 2.0, 2.3, 2.5, 1.0},
+  };
+  EngineConfig cfg;
+  cfg.visibility.radius = 1.0;
+  cfg.error.random_rotation = false;
+
+  sched::ScriptedScheduler sched_grid(script);
+  Engine grid(initial, cog, sched_grid, cfg);
+  sched::ScriptedScheduler sched_brute(script);
+  cfg.use_spatial_index = false;
+  Engine brute(initial, cog, sched_brute, cfg);
+
+  ASSERT_EQ(grid.run(script.size()), brute.run(script.size()));
+  expect_identical_traces(grid.trace(), brute.trace(), 0);
+  // Robot 1 at t=1 must have seen robot 0 at its *post-teleport* position.
+  EXPECT_EQ(grid.trace().records()[1].from, brute.trace().records()[1].from);
+}
+
+TEST(EngineEquivalence, ViewPositionsAgreeMidRun) {
+  // SimulationView::position (consumed by omniscient schedulers) must agree
+  // between the cache tier and the trace tier at past and future times.
+  const algo::KknpsAlgorithm kknps({.k = 1});
+  const std::size_t n = 24;
+  const auto initial =
+      metrics::random_connected_configuration(n, 0.4 * std::sqrt(double(n)), 1.0, 5);
+  sched::KAsyncScheduler sched(n, {.seed = 5});
+  EngineConfig cfg;
+  cfg.visibility.radius = 1.0;
+  Engine engine(initial, kknps, sched, cfg);
+  for (int chunk = 0; chunk < 20; ++chunk) {
+    engine.run(10);
+    for (RobotId r = 0; r < n; ++r) {
+      for (double dt : {-2.0, -0.5, 0.0, 0.7, 5.0}) {
+        const Time t = engine.frontier() + dt;
+        if (t < 0.0) continue;
+        const Vec2 via_view = engine.position(r, t);
+        const Vec2 via_trace = engine.trace().position(r, t);
+        EXPECT_EQ(via_view.x, via_trace.x) << "robot " << r << " t " << t;
+        EXPECT_EQ(via_view.y, via_trace.y) << "robot " << r << " t " << t;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cohesion::core
