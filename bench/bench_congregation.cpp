@@ -1,41 +1,67 @@
 // E6 — §5 / Figures 16-17 / Lemma 8: incremental congregation. Tracks the
 // monotone decay of hull diameter and perimeter under KKNPS and reports
 // rounds-to-halve-diameter as a function of n and the scheduling model.
+//
+// Declarative form: one run::ExperimentSpec with two axes — a scheduler
+// axis (SSync / k-NestA / k-Async variants, each carrying its matching
+// algorithm k) crossed with a swarm-size axis (n, the activation budget
+// and the world radius scale together) — executed by run::BatchRunner
+// with a trace-metric hook checking Lemma 8's hull-perimeter
+// monotonicity along round boundaries.
+#include <cmath>
 #include <iostream>
-#include <memory>
+#include <thread>
 
-#include "algo/kknps.hpp"
 #include "core/engine.hpp"
 #include "geometry/convex_hull.hpp"
-#include "metrics/configurations.hpp"
-#include "metrics/stats.hpp"
 #include "metrics/table.hpp"
-#include "sched/asynchronous.hpp"
-#include "sched/synchronous.hpp"
+#include "run/batch_runner.hpp"
 
 using namespace cohesion;
 
 namespace {
 
-std::unique_ptr<core::Scheduler> make_scheduler(const std::string& kind, std::size_t n,
-                                                std::size_t k, std::uint64_t seed) {
-  if (kind == "SSync") {
-    sched::SSyncScheduler::Params p;
-    p.seed = seed;
-    return std::make_unique<sched::SSyncScheduler>(n, p);
+run::Json scheduler_case(const std::string& kind, std::size_t k) {
+  run::Json j = run::Json::object();
+  j.set("label", kind);
+  run::Json sched = run::Json::object();
+  sched.set("type", kind == "SSync" ? "ssync" : (kind == "k-NestA" ? "knesta" : "kasync"));
+  run::Json sched_params = run::Json::object();
+  if (kind != "SSync") {
+    sched_params.set("k", k);
+    sched_params.set("xi", 0.5);
   }
-  if (kind == "k-NestA") {
-    sched::KNestAScheduler::Params p;
-    p.k = k;
-    p.seed = seed;
-    p.xi = 0.5;
-    return std::make_unique<sched::KNestAScheduler>(n, p);
+  sched.set("params", sched_params);
+  j.set("scheduler", sched);
+  run::Json algo = run::Json::object();
+  run::Json algo_params = run::Json::object();
+  algo_params.set("k", k);
+  algo.set("params", algo_params);
+  j.set("algorithm", algo);
+  return j;
+}
+
+run::Json size_case(std::size_t n) {
+  run::Json j = run::Json::object();
+  j.set("label", "n=" + std::to_string(n));
+  j.set("n", n);
+  run::Json stop = run::Json::object();
+  stop.set("max_activations", n * 4000);
+  j.set("stop", stop);
+  return j;
+}
+
+/// Lemma 8's mechanism: each epsilon-neighbourhood evacuation shortens the
+/// hull perimeter, so the series along round boundaries never grows.
+double hull_perimeter_monotone(const run::RunSpec&, const core::Engine& engine) {
+  double prev = 1e18;
+  for (const double t : engine.trace().round_boundaries()) {
+    const auto hull = geom::convex_hull(engine.trace().configuration(t));
+    const double per = geom::polygon_perimeter(hull);
+    if (per > prev + 1e-7) return 0.0;
+    prev = per;
   }
-  sched::KAsyncScheduler::Params p;
-  p.k = k;
-  p.seed = seed;
-  p.xi = 0.5;
-  return std::make_unique<sched::KAsyncScheduler>(n, p);
+  return 1.0;
 }
 
 }  // namespace
@@ -43,40 +69,41 @@ std::unique_ptr<core::Scheduler> make_scheduler(const std::string& kind, std::si
 int main() {
   std::cout << "E6 / §5 congregation — hull decay and rounds-to-halve (V = 1)\n\n";
 
-  metrics::Table table({"scheduler", "k", "n", "initial_diam", "final_diam", "rounds",
+  run::ExperimentSpec experiment;
+  experiment.name = "congregation";
+  experiment.base.name = "e6";
+  experiment.base.seed = 300;
+  experiment.base.algorithm = {.type = "kknps"};
+  // world radius 0.4 * sqrt(n) * v keeps density constant across the n axis.
+  experiment.base.initial = {.type = "random",
+                             .params = run::Json::parse(R"({"world_radius_per_sqrt_n": 0.4})")};
+  experiment.base.stop.epsilon = 0.05;
+
+  run::SweepAxis sched_axis;
+  sched_axis.path = "";
+  sched_axis.values = {scheduler_case("SSync", 1), scheduler_case("k-NestA", 2),
+                       scheduler_case("k-Async", 2)};
+  run::SweepAxis size_axis;
+  size_axis.path = "";
+  for (const std::size_t n : {8u, 16u, 32u, 64u}) size_axis.values.push_back(size_case(n));
+  experiment.axes = {sched_axis, size_axis};
+
+  std::cout << "spec: " << experiment.to_json().dump() << "\n\n";
+
+  run::BatchRunner::Options options;
+  options.threads = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+  options.trace_metric = hull_perimeter_monotone;
+  const run::BatchResult result = run::BatchRunner(options).run(experiment);
+
+  metrics::Table table({"scheduler", "n", "initial_diam", "final_diam", "rounds",
                         "rounds_to_halve", "hull_monotone"});
-
-  for (const std::string kind : {"SSync", "k-NestA", "k-Async"}) {
-    for (const std::size_t n : {8u, 16u, 32u, 64u}) {
-      const std::size_t k = kind == "SSync" ? 1 : 2;
-      const algo::KknpsAlgorithm algo({.k = k});
-      const auto initial =
-          metrics::random_connected_configuration(n, 0.4 * std::sqrt(double(n)), 1.0, 300 + n);
-      auto sched = make_scheduler(kind, n, k, 17 + n);
-      core::EngineConfig cfg;
-      cfg.visibility.radius = 1.0;
-      cfg.seed = 55 + n;
-      core::Engine engine(initial, algo, *sched, cfg);
-      engine.run_until_converged(0.05, n * 4000);
-
-      const auto rep = metrics::analyze(engine.trace(), 1.0, 0.05);
-
-      // Hull-perimeter monotonicity along round boundaries (Lemma 8's
-      // mechanism: each epsilon-neighbourhood evacuation shortens it).
-      bool monotone = true;
-      double prev = 1e18;
-      for (const double t : engine.trace().round_boundaries()) {
-        const auto hull = geom::convex_hull(engine.trace().configuration(t));
-        const double per = geom::polygon_perimeter(hull);
-        if (per > prev + 1e-7) monotone = false;
-        prev = per;
-      }
-
-      table.add_row(kind, k, n, rep.initial_diameter, rep.final_diameter, rep.rounds,
-                    rep.rounds_to_halve, monotone ? "yes" : "NO");
-    }
+  for (const run::RunOutcome& o : result.outcomes) {
+    table.add_row(o.label, o.n, o.report.initial_diameter, o.report.final_diameter,
+                  o.report.rounds, o.report.rounds_to_halve, o.custom >= 1.0 ? "yes" : "NO");
   }
   table.print();
+  std::cout << "\n(" << result.outcomes.size() << " runs, " << result.threads << " threads, "
+            << result.wall_seconds << " s)\n";
   std::cout << "\nExpected shape: hull perimeter monotone in every run; rounds-to-halve\n"
             << "grows mildly with n; convergence in every scheduling model (§5).\n";
   return 0;

@@ -1,66 +1,90 @@
 // E9 — §6.1 error tolerance: sweep relative distance error delta, angle
 // skew lambda, and quadratic motion error; report convergence and cohesion
 // of the delta-aware KKNPS variant under k-Async.
+//
+// Declarative form: the whole sweep is one run::ExperimentSpec — a base
+// RunSpec plus a single root-merge axis whose eleven case objects override
+// the correlated error knobs (the algorithm's assumed delta must track the
+// error model's actual delta) — fanned out by run::BatchRunner. The spec
+// JSON is printed first: save it and the sweep reruns via `cohesion_run`.
 #include <iostream>
+#include <thread>
 
-#include "algo/kknps.hpp"
-#include "core/engine.hpp"
-#include "metrics/configurations.hpp"
-#include "metrics/stats.hpp"
 #include "metrics/table.hpp"
-#include "sched/asynchronous.hpp"
+#include "run/batch_runner.hpp"
 
 using namespace cohesion;
 
 namespace {
 
-struct Row {
-  bool converged;
-  bool cohesive;
-  double final_diam;
-};
-
-Row run_case(double delta, double lambda, double motion, std::uint64_t seed) {
-  const std::size_t n = 12, k = 2;
-  const algo::KknpsAlgorithm algo({.k = k, .distance_delta = delta});
-  const auto initial = metrics::random_connected_configuration(n, 1.6, 1.0, seed);
-  sched::KAsyncScheduler::Params p;
-  p.k = k;
-  p.seed = seed;
-  p.xi = 0.4;
-  sched::KAsyncScheduler sched(n, p);
-  core::EngineConfig cfg;
-  cfg.visibility.radius = 1.0;
-  cfg.seed = seed;
-  cfg.error.distance_delta = delta;
-  cfg.error.skew_lambda = lambda;
-  cfg.error.motion_quad_coeff = motion;
-  core::Engine engine(initial, algo, sched, cfg);
-  const bool conv = engine.run_until_converged(0.08, 250000);
-  const auto rep = metrics::analyze(engine.trace(), 1.0, 0.08);
-  return {conv, rep.cohesive, rep.final_diameter};
+/// One error case: the algorithm is told the same delta the error model
+/// inflicts (the paper's delta-aware variant).
+run::Json error_case(double delta, double lambda, double motion) {
+  run::Json j = run::Json::object();
+  char label[64];
+  std::snprintf(label, sizeof label, "d=%.2f,l=%.2f,m=%.1f", delta, lambda, motion);
+  j.set("label", label);
+  run::Json algo = run::Json::object();
+  run::Json algo_params = run::Json::object();
+  algo_params.set("distance_delta", delta);
+  algo.set("params", algo_params);
+  j.set("algorithm", algo);
+  run::Json err = run::Json::object();
+  run::Json err_params = run::Json::object();
+  err_params.set("distance_delta", delta);
+  err_params.set("skew_lambda", lambda);
+  err_params.set("motion_quad_coeff", motion);
+  err.set("params", err_params);
+  j.set("error", err);
+  return j;
 }
 
 }  // namespace
 
 int main() {
   std::cout << "E9 / §6.1 — error-tolerance sweep (KKNPS, k = 2, n = 12, V = 1)\n\n";
-  metrics::Table table({"delta(dist)", "lambda(skew)", "motion_coeff", "converged", "cohesive",
-                        "final_diameter"});
-  const double cases[][3] = {
+
+  run::ExperimentSpec experiment;
+  experiment.name = "error_tolerance";
+  experiment.base.name = "e9";
+  experiment.base.n = 12;
+  experiment.base.seed = 9000;
+  experiment.base.algorithm = {.type = "kknps", .params = run::Json::parse(R"({"k": 2})")};
+  experiment.base.scheduler = {.type = "kasync", .params = run::Json::parse(R"({"k": 2, "xi": 0.4})")};
+  experiment.base.initial = {.type = "random", .params = run::Json::parse(R"({"world_radius": 1.6})")};
+  experiment.base.stop.epsilon = 0.08;
+  experiment.base.stop.max_activations = 250000;
+
+  run::SweepAxis cases;
+  cases.path = "";  // root deep-merge: each case overrides correlated knobs
+  const double grid[][3] = {
       {0.00, 0.00, 0.0},  // exact
       {0.02, 0.00, 0.0},  {0.05, 0.00, 0.0}, {0.10, 0.00, 0.0},  // distance error
       {0.00, 0.05, 0.0},  {0.00, 0.15, 0.0}, {0.00, 0.30, 0.0},  // skew
       {0.00, 0.00, 0.1},  {0.00, 0.00, 0.3},                     // motion error
       {0.05, 0.10, 0.1},  {0.10, 0.20, 0.2},                     // combined
   };
-  std::uint64_t seed = 9000;
-  for (const auto& c : cases) {
-    const Row r = run_case(c[0], c[1], c[2], seed++);
-    table.add_row(c[0], c[1], c[2], r.converged ? "yes" : "NO", r.cohesive ? "yes" : "NO",
-                  r.final_diam);
+  for (const auto& c : grid) cases.values.push_back(error_case(c[0], c[1], c[2]));
+  experiment.axes.push_back(cases);
+
+  std::cout << "spec: " << experiment.to_json().dump() << "\n\n";
+
+  run::BatchRunner::Options options;
+  options.threads = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+  const run::BatchResult result = run::BatchRunner(options).run(experiment);
+
+  metrics::Table table({"case", "converged", "cohesive", "final_diameter"});
+  const auto by_variant = run::BatchRunner::aggregate_by_variant(result.outcomes);
+  std::vector<std::string> labels(by_variant.size());
+  for (const run::RunOutcome& o : result.outcomes) labels[o.variant] = o.label;
+  for (std::size_t v = 0; v < by_variant.size(); ++v) {
+    const run::Aggregate& a = by_variant[v];
+    table.add_row(labels[v], a.converged == a.runs ? "yes" : "NO",
+                  a.cohesion_failures == 0 ? "yes" : "NO", a.mean_final_diameter);
   }
   table.print();
+  std::cout << "\n(" << result.outcomes.size() << " runs, " << result.threads << " threads, "
+            << result.wall_seconds << " s)\n";
   std::cout << "\nExpected shape: convergence and cohesion for modest delta/lambda/motion\n"
             << "error — the paper's §6.1 claims; very large errors may slow or stall\n"
             << "convergence but must not break cohesion of the delta-aware variant.\n";

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Runs every bench executable in the build tree with JSON output and distills
 # the engine-throughput trajectory into BENCH_engine.json so successive PRs
-# have a perf baseline to compare against.
+# have a perf baseline to compare against. Also drives one declarative sweep
+# (bench/specs/kasync_sweep.json) through the cohesion_run batch driver at 1
+# and N worker threads: asserts the deterministic reports are byte-identical
+# and records the wall-clock numbers + speedup in BENCH_engine.json.
 #
 # Usage: bench/run_benches.sh [BUILD_DIR] [OUT_DIR]
 #   BUILD_DIR  cmake build tree containing the bench_* executables (default: build)
@@ -36,8 +39,48 @@ if [ "$found" = 0 ]; then
   exit 1
 fi
 
+# Declarative batch sweep through cohesion_run: one spec, 1 vs N worker
+# threads. The --no-timing reports must be byte-identical (deterministic
+# seeding); the timed runs give the wall-clock scaling numbers.
+BATCH_JSON="$OUT_DIR/batch_sweep_timing.json"
+rm -f "$BATCH_JSON"
+if [ -x "$BUILD_DIR/cohesion_run" ] && [ -f bench/specs/kasync_sweep.json ]; then
+  NTHREADS=${BENCH_SWEEP_THREADS:-$(nproc)}
+  echo "== cohesion_run sweep (1 vs $NTHREADS threads)"
+  "$BUILD_DIR/cohesion_run" bench/specs/kasync_sweep.json --threads 1 --no-timing \
+      --out "$OUT_DIR/sweep_t1.json" 2> /dev/null
+  "$BUILD_DIR/cohesion_run" bench/specs/kasync_sweep.json --threads "$NTHREADS" --no-timing \
+      --out "$OUT_DIR/sweep_tN.json" 2> /dev/null
+  if ! cmp -s "$OUT_DIR/sweep_t1.json" "$OUT_DIR/sweep_tN.json"; then
+    echo "ERROR: sweep results differ between 1 and $NTHREADS threads" >&2
+    exit 1
+  fi
+  echo "   deterministic: 1-thread and $NTHREADS-thread reports byte-identical"
+  t1=$("$BUILD_DIR/cohesion_run" bench/specs/kasync_sweep.json --threads 1 \
+         --out "$OUT_DIR/sweep_timed.json" 2>&1 | sed -n 's/.* \([0-9.]*\) s)$/\1/p')
+  tN=$("$BUILD_DIR/cohesion_run" bench/specs/kasync_sweep.json --threads "$NTHREADS" \
+         --out "$OUT_DIR/sweep_timed.json" 2>&1 | sed -n 's/.* \([0-9.]*\) s)$/\1/p')
+  python3 - "$BATCH_JSON" "$NTHREADS" "$t1" "$tN" "$OUT_DIR/sweep_timed.json" <<'EOF'
+import json, sys
+target, threads, t1, tn, report_path = sys.argv[1:6]
+report = json.load(open(report_path))
+runs = report["aggregate"]["runs"]
+json.dump({
+    "spec": "bench/specs/kasync_sweep.json",
+    "runs": runs,
+    "threads": int(threads),
+    "wall_seconds_1_thread": float(t1),
+    "wall_seconds_N_threads": float(tn),
+    "speedup": round(float(t1) / float(tn), 2) if float(tn) > 0 else None,
+}, open(target, "w"))
+EOF
+else
+  echo "cohesion_run or bench/specs/kasync_sweep.json missing; skipping sweep" >&2
+fi
+
 # Distill activations/sec per swarm size from the engine benches into one
-# trajectory file: {bench -> {benchmark_name -> items_per_second}}.
+# trajectory file: {bench -> {benchmark_name -> items_per_second}}, plus the
+# declarative-sweep wall-clock scaling when it ran.
 python3 - "$OUT_DIR" <<'EOF'
 import json, pathlib, sys
 
@@ -56,10 +99,19 @@ for path in sorted(out_dir.glob("bench_*.json")):
         engine[path.stem] = series
 
 summary = {"context": "activations/sec (items_per_second) per benchmark", "engine": engine}
+batch = out_dir / "batch_sweep_timing.json"
+if batch.exists():
+    summary["batch_sweep"] = json.loads(batch.read_text())
+    summary["context"] += "; batch_sweep: cohesion_run wall-clock at 1 vs N threads"
+    batch.unlink()
 target = out_dir / "BENCH_engine.json"
 target.write_text(json.dumps(summary, indent=2) + "\n")
 print(f"wrote {target}")
 for bench, series in engine.items():
     for name, ips in series.items():
         print(f"  {name}: {ips:,.0f} activations/s")
+if "batch_sweep" in summary:
+    b = summary["batch_sweep"]
+    print(f"  batch sweep: {b['runs']} runs, {b['wall_seconds_1_thread']}s @1t, "
+          f"{b['wall_seconds_N_threads']}s @{b['threads']}t, speedup {b['speedup']}x")
 EOF

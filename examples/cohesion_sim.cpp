@@ -8,23 +8,22 @@
 //                --delta 0.05 --skew 0.1 --xi 0.5 --eps 0.05
 //                --svg run.svg --trace run.csv        (one command line)
 //
-// Run with --help for the full flag list.
-#include <cstring>
+// The flags are a thin veneer over a declarative run::RunSpec: --algo,
+// --sched and --config are registry keys passed through verbatim (register
+// a factory and it is immediately drivable from here), and --spec prints
+// the assembled spec JSON instead of running — pipe it to `cohesion_run`
+// to sweep it. Run with --help for the full flag list.
+#include <cmath>
 #include <iostream>
 #include <map>
-#include <memory>
 #include <sstream>
 #include <string>
 
-#include "algo/baselines.hpp"
-#include "algo/kknps.hpp"
-#include "core/engine.hpp"
 #include "core/trace_io.hpp"
-#include "metrics/configurations.hpp"
 #include "metrics/stats.hpp"
 #include "metrics/svg.hpp"
-#include "sched/asynchronous.hpp"
-#include "sched/synchronous.hpp"
+#include "run/instantiate.hpp"
+#include "run/registry.hpp"
 
 using namespace cohesion;
 
@@ -48,14 +47,20 @@ struct Options {
   std::string svg_path;
   std::string trace_path;
   bool reflection = false;
+  bool print_spec = false;
 };
 
 void usage() {
+  const auto keys = [](const std::vector<std::string>& ks) {
+    std::string out;
+    for (const std::string& k : ks) out += (out.empty() ? "" : " | ") + k;
+    return out;
+  };
   std::cout <<
       "cohesion_sim — OBLOT point-convergence simulator\n\n"
-      "  --algo   kknps | ando | katreniak | cog | gcm | null    (default kknps)\n"
-      "  --sched  fsync | ssync | knesta | kasync | async        (default kasync)\n"
-      "  --config random | line | grid | ring | clusters | spiral (default random)\n"
+      "  --algo   " << keys(run::algorithms().keys()) << "  (default kknps)\n"
+      "  --sched  " << keys(run::schedulers().keys()) << "  (default kasync)\n"
+      "  --config " << keys(run::initials().keys()) << "  (default random)\n"
       "  --n      robot count (default 16)\n"
       "  --k      asynchrony bound for kasync/knesta + kknps scaling (default 1)\n"
       "  --v      visibility radius (default 1)\n"
@@ -64,12 +69,13 @@ void usage() {
       "  --motion quadratic motion-error coefficient (default 0)\n"
       "  --xi     minimum realized move fraction, (0,1] (default 1 = rigid)\n"
       "  --eps    convergence diameter (default 0.05)\n"
-      "  --spacing initial spacing for line/grid/ring (default 0.9)\n"
+      "  --spacing initial spacing for line/grid/circle, in units of v (default 0.9)\n"
       "  --max    activation budget (default 500000)\n"
-      "  --seed   RNG seed (default 1)\n"
+      "  --seed   master seed (default 1; component seeds are derived)\n"
       "  --svg    write an SVG rendering of the run to this path\n"
       "  --trace  write the full activation trace as CSV to this path\n"
-      "  --reflection  allow mirrored local frames (no chirality)\n";
+      "  --reflection  allow mirrored local frames (no chirality)\n"
+      "  --spec   print the assembled RunSpec JSON and exit (for cohesion_run)\n";
 }
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -79,6 +85,10 @@ bool parse(int argc, char** argv, Options& opt) {
     if (key == "--help" || key == "-h") return false;
     if (key == "--reflection") {
       opt.reflection = true;
+      continue;
+    }
+    if (key == "--spec") {
+      opt.print_spec = true;
       continue;
     }
     if (i + 1 >= argc || key.rfind("--", 0) != 0) {
@@ -112,50 +122,45 @@ bool parse(int argc, char** argv, Options& opt) {
   return true;
 }
 
-std::vector<geom::Vec2> make_configuration(const Options& opt) {
-  if (opt.config == "line") return metrics::line_configuration(opt.n, opt.spacing * opt.v);
-  if (opt.config == "grid") return metrics::grid_configuration(opt.n, opt.spacing * opt.v);
-  if (opt.config == "ring") {
-    return metrics::regular_polygon_configuration(opt.n, opt.spacing * opt.v);
-  }
-  if (opt.config == "clusters") {
-    return metrics::two_cluster_configuration(opt.n, 3, opt.v, opt.seed);
-  }
-  if (opt.config == "spiral") return metrics::spiral_configuration(0.3, 0.92 * opt.v).positions;
-  return metrics::random_connected_configuration(
-      opt.n, 0.4 * opt.v * std::sqrt(static_cast<double>(opt.n)), opt.v, opt.seed);
-}
+/// Map the flags onto a declarative spec; all component construction is
+/// registry lookups from here on.
+run::RunSpec build_spec(const Options& opt) {
+  run::RunSpec spec;
+  spec.name = "cohesion_sim";
+  spec.n = opt.n;
+  spec.seed = opt.seed;
+  spec.visibility_radius = opt.v;
 
-std::unique_ptr<core::Algorithm> make_algorithm(const Options& opt) {
-  if (opt.algo == "ando") return std::make_unique<algo::AndoAlgorithm>(opt.v);
-  if (opt.algo == "katreniak") return std::make_unique<algo::KatreniakAlgorithm>();
-  if (opt.algo == "cog") return std::make_unique<algo::CogAlgorithm>();
-  if (opt.algo == "gcm") return std::make_unique<algo::GcmAlgorithm>();
-  if (opt.algo == "null") return std::make_unique<algo::NullAlgorithm>();
-  return std::make_unique<algo::KknpsAlgorithm>(
-      algo::KknpsAlgorithm::Params{.k = opt.k, .distance_delta = opt.delta});
-}
+  spec.algorithm.type = opt.algo;
+  if (opt.algo == "kknps") {
+    spec.algorithm.params.set("k", opt.k);
+    spec.algorithm.params.set("distance_delta", opt.delta);
+  } else if (opt.algo == "kknps3d") {
+    spec.algorithm.params.set("k", opt.k);
+  } else if (opt.algo == "ando") {
+    spec.algorithm.params.set("v", opt.v);
+  }
 
-std::unique_ptr<core::Scheduler> make_scheduler(const Options& opt) {
-  if (opt.sched == "fsync") return std::make_unique<sched::FSyncScheduler>(opt.n);
-  if (opt.sched == "ssync") {
-    sched::SSyncScheduler::Params p;
-    p.seed = opt.seed;
-    p.xi = opt.xi;
-    return std::make_unique<sched::SSyncScheduler>(opt.n, p);
+  spec.scheduler.type = opt.sched;
+  if (opt.sched == "kasync" || opt.sched == "knesta") spec.scheduler.params.set("k", opt.k);
+  if (opt.sched != "fsync") spec.scheduler.params.set("xi", opt.xi);
+
+  spec.error.type = "noisy";
+  spec.error.params.set("distance_delta", opt.delta);
+  spec.error.params.set("skew_lambda", opt.skew);
+  spec.error.params.set("motion_quad_coeff", opt.motion);
+  spec.error.params.set("allow_reflection", opt.reflection);
+
+  spec.initial.type = opt.config;
+  if (opt.config == "line" || opt.config == "grid") {
+    spec.initial.params.set("spacing", opt.spacing);
+  } else if (opt.config == "circle") {
+    spec.initial.params.set("side", opt.spacing);
   }
-  if (opt.sched == "knesta") {
-    sched::KNestAScheduler::Params p;
-    p.k = opt.k;
-    p.seed = opt.seed;
-    p.xi = opt.xi;
-    return std::make_unique<sched::KNestAScheduler>(opt.n, p);
-  }
-  sched::KAsyncScheduler::Params p;
-  p.k = opt.sched == "async" ? static_cast<std::size_t>(-1) : opt.k;
-  p.seed = opt.seed;
-  p.xi = opt.xi;
-  return std::make_unique<sched::KAsyncScheduler>(opt.n, p);
+
+  spec.stop.epsilon = opt.eps;
+  spec.stop.max_activations = opt.max_activations;
+  return spec;
 }
 
 }  // namespace
@@ -167,42 +172,40 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const auto initial = make_configuration(opt);
-  opt.n = initial.size();  // spiral/clusters may adjust n
-  const auto algorithm = make_algorithm(opt);
-  const auto scheduler = make_scheduler(opt);
+  try {
+    const run::RunSpec spec = build_spec(opt);
+    if (opt.print_spec) {
+      std::cout << spec.to_json().dump(2) << "\n";
+      return 0;
+    }
 
-  core::EngineConfig cfg;
-  cfg.visibility.radius = opt.v;
-  cfg.error.distance_delta = opt.delta;
-  cfg.error.skew_lambda = opt.skew;
-  cfg.error.motion_quad_coeff = opt.motion;
-  cfg.error.allow_reflection = opt.reflection;
-  cfg.seed = opt.seed;
+    run::RunInstance inst = run::instantiate(spec);
+    const bool converged = inst.engine->run_until(spec.stop);
+    const auto report = metrics::analyze(inst.engine->trace(), opt.v, opt.eps);
 
-  core::Engine engine(initial, *algorithm, *scheduler, cfg);
-  const bool converged = engine.run_until_converged(opt.eps, opt.max_activations);
-  const auto report = metrics::analyze(engine.trace(), opt.v, opt.eps);
+    std::cout << "algorithm:         " << inst.algorithm->name() << "\n"
+              << "scheduler:         " << inst.scheduler->name() << " (k=" << opt.k << ")\n"
+              << "robots:            " << inst.initial.size() << "\n"
+              << "converged:         " << (converged ? "yes" : "no") << "\n"
+              << "initial diameter:  " << report.initial_diameter << "\n"
+              << "final diameter:    " << report.final_diameter << "\n"
+              << "rounds:            " << report.rounds << "\n"
+              << "rounds to halve:   " << report.rounds_to_halve << "\n"
+              << "activations:       " << report.activations << "\n"
+              << "cohesive:          " << (report.cohesive ? "yes" : "NO") << "\n"
+              << "worst stretch / V: " << report.worst_stretch << "\n";
 
-  std::cout << "algorithm:         " << algorithm->name() << "\n"
-            << "scheduler:         " << scheduler->name() << " (k=" << opt.k << ")\n"
-            << "robots:            " << opt.n << "\n"
-            << "converged:         " << (converged ? "yes" : "no") << "\n"
-            << "initial diameter:  " << report.initial_diameter << "\n"
-            << "final diameter:    " << report.final_diameter << "\n"
-            << "rounds:            " << report.rounds << "\n"
-            << "rounds to halve:   " << report.rounds_to_halve << "\n"
-            << "activations:       " << report.activations << "\n"
-            << "cohesive:          " << (report.cohesive ? "yes" : "NO") << "\n"
-            << "worst stretch / V: " << report.worst_stretch << "\n";
-
-  if (!opt.svg_path.empty()) {
-    metrics::write_svg(opt.svg_path, metrics::render_trace(engine.trace(), opt.v));
-    std::cout << "svg written:       " << opt.svg_path << "\n";
+    if (!opt.svg_path.empty()) {
+      metrics::write_svg(opt.svg_path, metrics::render_trace(inst.engine->trace(), opt.v));
+      std::cout << "svg written:       " << opt.svg_path << "\n";
+    }
+    if (!opt.trace_path.empty()) {
+      core::write_trace_csv(inst.engine->trace(), opt.trace_path);
+      std::cout << "trace written:     " << opt.trace_path << "\n";
+    }
+    return converged ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "cohesion_sim: " << e.what() << "\n";
+    return 2;
   }
-  if (!opt.trace_path.empty()) {
-    core::write_trace_csv(engine.trace(), opt.trace_path);
-    std::cout << "trace written:     " << opt.trace_path << "\n";
-  }
-  return converged ? 0 : 1;
 }

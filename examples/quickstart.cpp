@@ -1,46 +1,53 @@
 // Quickstart: ten robots on a line, limited visibility, k-Async scheduling,
 // the paper's KKNPS algorithm — watch them converge to a point.
 //
-//   $ ./quickstart
+//   $ ./example_quickstart
 //
-// This is the smallest end-to-end use of the library's public API:
-//   1. build an initial configuration,
-//   2. pick an algorithm and a scheduler,
-//   3. run the engine,
+// This is the smallest end-to-end use of the library's declarative API:
+//   1. describe the run as a RunSpec — every ingredient (algorithm,
+//      scheduler, initial configuration, error model, stop rule) is a
+//      string registry key plus JSON params, so the whole run is one
+//      serializable artifact;
+//   2. instantiate it — registry lookups build the engine and derive the
+//      component seeds from the spec's one master seed;
+//   3. run until the stop condition fires;
 //   4. inspect the trace.
+//
+// The printed JSON is the spec itself: save it, hand it to the
+// `cohesion_run` CLI, or sweep it over a parameter grid with
+// run::ExperimentSpec + run::BatchRunner (see docs/experiments.md).
 #include <iostream>
 
-#include "algo/kknps.hpp"
-#include "core/engine.hpp"
-#include "metrics/configurations.hpp"
 #include "metrics/stats.hpp"
-#include "sched/asynchronous.hpp"
+#include "run/instantiate.hpp"
 
 int main() {
   using namespace cohesion;
 
-  // 1. Ten robots, spacing 0.9, visibility radius 1: a connected chain.
-  const auto initial = metrics::line_configuration(10, 0.9);
+  // 1. Ten robots, spacing 0.9, visibility radius 1: a connected chain,
+  //    driven by the paper's algorithm for 2-bounded asynchrony under a
+  //    random 2-Async adversarial scheduler with non-rigid motion.
+  run::RunSpec spec;
+  spec.name = "quickstart";
+  spec.n = 10;
+  spec.seed = 1;
+  spec.algorithm = {.type = "kknps", .params = run::Json::parse(R"({"k": 2})")};
+  spec.scheduler = {.type = "kasync", .params = run::Json::parse(R"({"k": 2, "xi": 0.5})")};
+  spec.initial = {.type = "line", .params = run::Json::parse(R"({"spacing": 0.9})")};
+  spec.stop.epsilon = 0.05;  // run until the swarm fits in a 0.05-ball
+  spec.stop.max_activations = 200000;
 
-  // 2. The paper's algorithm for 2-bounded asynchrony, and a random 2-Async
-  //    adversarial scheduler with non-rigid motion.
-  const algo::KknpsAlgorithm algorithm({.k = 2});
-  sched::KAsyncScheduler::Params sparams;
-  sparams.k = 2;
-  sparams.xi = 0.5;  // the adversary may stop robots halfway
-  sched::KAsyncScheduler scheduler(initial.size(), sparams);
-
-  // 3. Run until the configuration fits in a 0.05-ball.
-  core::EngineConfig config;
-  config.visibility.radius = 1.0;
-  core::Engine engine(initial, algorithm, scheduler, config);
-  const bool converged = engine.run_until_converged(/*epsilon=*/0.05, /*max_activations=*/200000);
+  // 2. + 3. Build the engine from the registries and run it.
+  run::RunInstance inst = run::instantiate(spec);
+  const bool converged = inst.engine->run_until(spec.stop);
 
   // 4. Report.
-  const auto report = metrics::analyze(engine.trace(), 1.0, 0.05);
-  std::cout << "algorithm:        " << algorithm.name() << " (k = 2)\n"
-            << "scheduler:        " << scheduler.name() << "\n"
-            << "robots:           " << initial.size() << "\n"
+  const auto report = metrics::analyze(inst.engine->trace(), spec.visibility_radius,
+                                       spec.stop.epsilon);
+  std::cout << "spec:             " << spec.to_json().dump() << "\n"
+            << "algorithm:        " << inst.algorithm->name() << " (k = 2)\n"
+            << "scheduler:        " << inst.scheduler->name() << "\n"
+            << "robots:           " << inst.initial.size() << "\n"
             << "converged:        " << (converged ? "yes" : "no") << "\n"
             << "initial diameter: " << report.initial_diameter << "\n"
             << "final diameter:   " << report.final_diameter << "\n"

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/algorithm.hpp"
 #include "geometry/vec3.hpp"
 
 namespace cohesion::algo {
@@ -55,5 +56,25 @@ struct Sim3dResult {
 
 Sim3dResult simulate_kknps3d(std::vector<geom::Vec3> positions, double v, std::size_t k,
                              std::size_t rounds, bool ssync = false, std::uint64_t seed = 1);
+
+/// Planar restriction of the 3D rule, packaged as a core::Algorithm so the
+/// 2D engine (and the run-spec registry) can drive it. The snapshot embeds
+/// at z = 0; every Frank-Wolfe iterate is a convex combination of z = 0
+/// directions, so the computed destination has exactly zero z component
+/// and the restriction is well defined. On planar input the rule differs
+/// from KknpsAlgorithm only in its destination *within* the common safe
+/// region (chord midpoint along the min-norm witness vs. Fig. 15 sector
+/// bisection), making it a useful cross-check of both.
+class Kknps3dPlanarAlgorithm final : public core::Algorithm {
+ public:
+  Kknps3dPlanarAlgorithm() = default;
+  explicit Kknps3dPlanarAlgorithm(Kknps3dParams params) : params_(params) {}
+
+  [[nodiscard]] geom::Vec2 compute(const core::Snapshot& snapshot) const override;
+  [[nodiscard]] std::string_view name() const override { return "KKNPS-3D/planar"; }
+
+ private:
+  Kknps3dParams params_;
+};
 
 }  // namespace cohesion::algo

@@ -193,16 +193,29 @@ std::size_t Engine::run(std::size_t max_activations) {
   return done;
 }
 
+bool Engine::run_until(const StopCondition& stop) {
+  const std::size_t check_every = std::max<std::size_t>(stop.check_every, 1);
+  // A negative epsilon can never match — skip the O(n) diameter scans
+  // entirely so fixed-budget runs cost what Engine::run(max) costs.
+  const bool check_diameter = stop.epsilon >= 0.0;
+  std::size_t done = 0;
+  while (done < stop.max_activations) {
+    for (std::size_t i = 0; i < check_every && done < stop.max_activations; ++i, ++done) {
+      if (!step()) return check_diameter && current_diameter() <= stop.epsilon;
+    }
+    if (check_diameter && current_diameter() <= stop.epsilon) return true;
+    if (stop.predicate && stop.predicate(*this)) break;
+  }
+  return check_diameter && current_diameter() <= stop.epsilon;
+}
+
 bool Engine::run_until_converged(double epsilon, std::size_t max_activations,
                                  std::size_t check_every) {
-  std::size_t done = 0;
-  while (done < max_activations) {
-    for (std::size_t i = 0; i < check_every && done < max_activations; ++i, ++done) {
-      if (!step()) return current_diameter() <= epsilon;
-    }
-    if (current_diameter() <= epsilon) return true;
-  }
-  return current_diameter() <= epsilon;
+  StopCondition stop;
+  stop.epsilon = epsilon;
+  stop.max_activations = max_activations;
+  stop.check_every = check_every;
+  return run_until(stop);
 }
 
 std::vector<Vec2> Engine::current_configuration() const {

@@ -42,6 +42,7 @@
 #include "core/kinematics.hpp"
 #include "core/scheduler.hpp"
 #include "core/spatial_index.hpp"
+#include "core/stop_condition.hpp"
 #include "core/trace.hpp"
 #include "core/types.hpp"
 #include "geometry/vec2.hpp"
@@ -99,9 +100,12 @@ class Engine final : public SimulationView {
   /// Returns the number of activations executed.
   std::size_t run(std::size_t max_activations);
 
-  /// Run until the configuration diameter is <= epsilon (checked every
-  /// `check_every` activations), the activation budget is exhausted, or the
-  /// scheduler ends. Returns true iff convergence was reached.
+  /// Run until `stop` fires (diameter <= epsilon, predicate true, or budget
+  /// exhausted) or the scheduler ends. Returns true iff the final diameter
+  /// is <= stop.epsilon.
+  bool run_until(const StopCondition& stop);
+
+  /// Convenience overload of run_until for the common diameter-only rule.
   bool run_until_converged(double epsilon, std::size_t max_activations,
                            std::size_t check_every = 64);
 

@@ -1,0 +1,30 @@
+// When to stop a run — extracted from Engine::run_until_converged so that a
+// declarative RunSpec (src/run) can carry the stop rule as data and a batch
+// of runs can share one description.
+//
+// The engine checks the rule every `check_every` committed activations:
+// the run stops when the configuration diameter is <= epsilon, when the
+// optional predicate returns true, or when the activation budget is
+// exhausted (the scheduler ending the run stops it regardless). A negative
+// epsilon never matches, which is how fixed-length runs (the old
+// Engine::run(max) pattern) are expressed declaratively.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace cohesion::core {
+
+class Engine;
+
+struct StopCondition {
+  double epsilon = 0.05;                  ///< convergence diameter (< 0: never)
+  std::size_t max_activations = 200000;   ///< activation budget
+  std::size_t check_every = 64;           ///< diameter-check cadence (>= 1)
+  /// Extra stop hook, evaluated at the same cadence as the diameter check
+  /// (e.g. "a close pair separated" in adversarial benches). Not part of
+  /// the JSON-serializable spec; attach it programmatically.
+  std::function<bool(const Engine&)> predicate;
+};
+
+}  // namespace cohesion::core

@@ -1,0 +1,230 @@
+#include "run/batch_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "run/instantiate.hpp"
+
+namespace cohesion::run {
+
+namespace {
+
+double wall_now() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Nearest-rank percentile of an ascending-sorted vector.
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t rank =
+      std::min(sorted.size() - 1,
+               static_cast<std::size_t>(std::ceil(p / 100.0 * static_cast<double>(sorted.size()))) -
+                   (p > 0.0 ? 1 : 0));
+  return sorted[rank];
+}
+
+RunOutcome execute(const ExpandedRun& run,
+                   const std::function<double(const RunSpec&, const core::Engine&)>& trace_metric) {
+  RunOutcome out;
+  out.index = run.index;
+  out.variant = run.variant;
+  out.repeat = run.repeat;
+  out.label = run.label;
+  out.seed = run.spec.seed;
+  const double t0 = wall_now();
+  try {
+    RunInstance inst = instantiate(run.spec);
+    out.n = inst.initial.size();
+    out.converged = inst.engine->run_until(run.spec.stop);
+    out.report = metrics::analyze(inst.engine->trace(), run.spec.visibility_radius,
+                                  run.spec.stop.epsilon);
+    if (trace_metric) out.custom = trace_metric(run.spec, *inst.engine);
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  }
+  out.wall_seconds = wall_now() - t0;
+  return out;
+}
+
+}  // namespace
+
+Json RunOutcome::to_json() const {
+  Json j = Json::object();
+  j.set("index", index);
+  j.set("variant", variant);
+  j.set("repeat", repeat);
+  j.set("label", label);
+  j.set("seed", seed);
+  if (!error.empty()) {
+    j.set("error", error);
+    return j;
+  }
+  j.set("n", n);
+  j.set("converged", converged);
+  j.set("cohesive", report.cohesive);
+  j.set("initial_diameter", report.initial_diameter);
+  j.set("final_diameter", report.final_diameter);
+  j.set("rounds", report.rounds);
+  j.set("rounds_to_halve", report.rounds_to_halve);
+  j.set("activations", report.activations);
+  j.set("worst_stretch", report.worst_stretch);
+  j.set("custom", custom);
+  return j;
+}
+
+Json Aggregate::to_json() const {
+  Json j = Json::object();
+  j.set("runs", runs);
+  j.set("converged", converged);
+  j.set("cohesion_failures", cohesion_failures);
+  j.set("errors", errors);
+  j.set("total_activations", total_activations);
+  j.set("mean_rounds", mean_rounds);
+  j.set("p50_rounds", p50_rounds);
+  j.set("p90_rounds", p90_rounds);
+  j.set("mean_rounds_to_halve", mean_rounds_to_halve);
+  j.set("mean_initial_diameter", mean_initial_diameter);
+  j.set("mean_final_diameter", mean_final_diameter);
+  j.set("max_final_diameter", max_final_diameter);
+  j.set("max_worst_stretch", max_worst_stretch);
+  j.set("mean_custom", mean_custom);
+  j.set("max_custom", max_custom);
+  return j;
+}
+
+BatchRunner::BatchRunner(Options options) : options_(std::move(options)) {}
+
+BatchResult BatchRunner::run(const ExperimentSpec& experiment) const {
+  return run(experiment.expand());
+}
+
+BatchResult BatchRunner::run(const std::vector<ExpandedRun>& runs) const {
+  BatchResult result;
+  std::size_t threads = options_.threads;
+  if (threads == 0) threads = std::max<unsigned>(std::thread::hardware_concurrency(), 1);
+  threads = std::min(threads, std::max<std::size_t>(runs.size(), 1));
+  result.threads = threads;
+  result.outcomes.resize(runs.size());
+
+  const double t0 = wall_now();
+  // Work-stealing off a shared counter: claim order is racy, but outcome
+  // slots are disjoint and each run is self-seeded, so results do not
+  // depend on the interleaving.
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= runs.size()) return;
+      result.outcomes[i] = execute(runs[i], options_.trace_metric);
+    }
+  };
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  result.wall_seconds = wall_now() - t0;
+  return result;
+}
+
+Aggregate BatchRunner::aggregate(const std::vector<RunOutcome>& outcomes) {
+  Aggregate a;
+  a.runs = outcomes.size();
+  std::vector<double> rounds_converged;
+  for (const RunOutcome& o : outcomes) {
+    if (!o.error.empty()) {
+      ++a.errors;
+      continue;
+    }
+    if (o.converged) {
+      ++a.converged;
+      rounds_converged.push_back(static_cast<double>(o.report.rounds));
+    }
+    if (!o.report.cohesive) ++a.cohesion_failures;
+    a.total_activations += o.report.activations;
+    a.mean_rounds_to_halve += static_cast<double>(o.report.rounds_to_halve);
+    a.mean_initial_diameter += o.report.initial_diameter;
+    a.mean_final_diameter += o.report.final_diameter;
+    a.max_final_diameter = std::max(a.max_final_diameter, o.report.final_diameter);
+    a.max_worst_stretch = std::max(a.max_worst_stretch, o.report.worst_stretch);
+    a.mean_custom += o.custom;
+    a.max_custom = std::max(a.max_custom, o.custom);
+  }
+  const double ok = static_cast<double>(a.runs - a.errors);
+  if (ok > 0.0) {
+    a.mean_rounds_to_halve /= ok;
+    a.mean_initial_diameter /= ok;
+    a.mean_final_diameter /= ok;
+    a.mean_custom /= ok;
+  }
+  if (!rounds_converged.empty()) {
+    std::sort(rounds_converged.begin(), rounds_converged.end());
+    double sum = 0.0;
+    for (const double r : rounds_converged) sum += r;
+    a.mean_rounds = sum / static_cast<double>(rounds_converged.size());
+    a.p50_rounds = percentile(rounds_converged, 50.0);
+    a.p90_rounds = percentile(rounds_converged, 90.0);
+  }
+  return a;
+}
+
+std::vector<Aggregate> BatchRunner::aggregate_by_variant(const std::vector<RunOutcome>& outcomes) {
+  std::size_t variants = 0;
+  for (const RunOutcome& o : outcomes) variants = std::max(variants, o.variant + 1);
+  std::vector<std::vector<RunOutcome>> buckets(variants);
+  for (const RunOutcome& o : outcomes) buckets[o.variant].push_back(o);
+  std::vector<Aggregate> out;
+  out.reserve(variants);
+  for (const auto& bucket : buckets) out.push_back(aggregate(bucket));
+  return out;
+}
+
+Json BatchRunner::report_json(const ExperimentSpec& experiment, const BatchResult& result,
+                              bool include_timing) {
+  Json j = Json::object();
+  j.set("experiment", experiment.to_json());
+  j.set("aggregate", aggregate(result.outcomes).to_json());
+
+  const std::vector<Aggregate> by_variant = aggregate_by_variant(result.outcomes);
+  JsonArray variants;
+  for (std::size_t v = 0; v < by_variant.size(); ++v) {
+    Json entry = Json::object();
+    entry.set("variant", v);
+    // All repeats of a variant share its label.
+    for (const RunOutcome& o : result.outcomes) {
+      if (o.variant == v) {
+        entry.set("label", o.label);
+        break;
+      }
+    }
+    entry.set("aggregate", by_variant[v].to_json());
+    variants.push_back(std::move(entry));
+  }
+  j.set("variants", Json(std::move(variants)));
+
+  JsonArray runs;
+  for (const RunOutcome& o : result.outcomes) runs.push_back(o.to_json());
+  j.set("runs", Json(std::move(runs)));
+
+  if (include_timing) {
+    Json timing = Json::object();
+    timing.set("threads", result.threads);
+    timing.set("wall_seconds", result.wall_seconds);
+    std::uint64_t activations = 0;
+    for (const RunOutcome& o : result.outcomes) activations += o.report.activations;
+    timing.set("activations_per_second",
+               result.wall_seconds > 0.0 ? static_cast<double>(activations) / result.wall_seconds
+                                         : 0.0);
+    j.set("timing", timing);
+  }
+  return j;
+}
+
+}  // namespace cohesion::run

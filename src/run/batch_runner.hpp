@@ -1,0 +1,109 @@
+// Parallel execution of a spec grid — the repo's first wall-clock scaling
+// axis. Commits inside one run are inherently serial (Async semantics fix
+// a total order of Look times), but runs of a sweep are independent, so
+// BatchRunner fans the expanded grid out over a std::thread worker pool,
+// one isolated Engine per run.
+//
+// Determinism: a run's behavior depends only on its RunSpec (seeds are
+// derived from grid position at expansion time, before any thread starts),
+// workers claim runs off an atomic counter but write results into the
+// run's own grid slot, and aggregation folds that ordered vector — so the
+// aggregate is bit-identical for any worker count. Wall-clock fields are
+// the one exception and live strictly outside the deterministic report
+// (RunOutcome::wall_seconds, BatchResult::wall_seconds; never inside
+// aggregate/report JSON marked deterministic).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "metrics/stats.hpp"
+#include "run/spec.hpp"
+
+namespace cohesion::run {
+
+/// What one run produced. `error` is the exception text when the run
+/// failed to build or execute (other runs are unaffected).
+struct RunOutcome {
+  std::size_t index = 0;
+  std::size_t variant = 0;
+  std::size_t repeat = 0;
+  std::string label;
+  std::uint64_t seed = 0;
+  std::size_t n = 0;             ///< actual robot count (factories may adjust)
+  bool converged = false;
+  metrics::ConvergenceReport report;
+  double custom = 0.0;           ///< trace-metric hook result (0 if no hook)
+  std::string error;
+  double wall_seconds = 0.0;     ///< non-deterministic; excluded from reports
+
+  [[nodiscard]] Json to_json() const;  ///< deterministic fields only
+};
+
+/// Order-independent folds over a set of outcomes. Percentiles use the
+/// nearest-rank rule over sorted values; round statistics are over
+/// converged runs only (non-converged runs have no convergence time).
+struct Aggregate {
+  std::size_t runs = 0;
+  std::size_t converged = 0;
+  std::size_t cohesion_failures = 0;
+  std::size_t errors = 0;
+  std::uint64_t total_activations = 0;
+  double mean_rounds = 0.0;
+  double p50_rounds = 0.0;
+  double p90_rounds = 0.0;
+  double mean_rounds_to_halve = 0.0;
+  double mean_initial_diameter = 0.0;
+  double mean_final_diameter = 0.0;
+  double max_final_diameter = 0.0;
+  double max_worst_stretch = 0.0;
+  double mean_custom = 0.0;
+  double max_custom = 0.0;
+
+  [[nodiscard]] Json to_json() const;
+};
+
+struct BatchResult {
+  std::vector<RunOutcome> outcomes;  ///< grid order (index-ascending)
+  double wall_seconds = 0.0;
+  std::size_t threads = 0;
+};
+
+class BatchRunner {
+ public:
+  struct Options {
+    /// Worker threads; 0 means std::thread::hardware_concurrency().
+    std::size_t threads = 1;
+    /// Optional per-run metric computed from the finished engine (e.g. a
+    /// worst-pair-growth scan over the trace). Must be a pure function of
+    /// its arguments — it runs on worker threads.
+    std::function<double(const RunSpec&, const core::Engine&)> trace_metric;
+  };
+
+  BatchRunner() : BatchRunner(Options{}) {}
+  explicit BatchRunner(Options options);
+
+  /// Expand and execute a whole experiment.
+  [[nodiscard]] BatchResult run(const ExperimentSpec& experiment) const;
+  /// Execute an explicit run list (for grids too irregular to express as
+  /// sweep axes — the caller labels/indexes the runs).
+  [[nodiscard]] BatchResult run(const std::vector<ExpandedRun>& runs) const;
+
+  static Aggregate aggregate(const std::vector<RunOutcome>& outcomes);
+  /// One aggregate per variant, variant-index order.
+  static std::vector<Aggregate> aggregate_by_variant(const std::vector<RunOutcome>& outcomes);
+
+  /// Full deterministic report: experiment echo + overall and per-variant
+  /// aggregates + per-run outcomes. `timing` (wall seconds, threads,
+  /// throughput) is appended under a "timing" key only when
+  /// include_timing — diffable across thread counts without it.
+  static Json report_json(const ExperimentSpec& experiment, const BatchResult& result,
+                          bool include_timing);
+
+ private:
+  Options options_;
+};
+
+}  // namespace cohesion::run

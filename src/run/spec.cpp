@@ -1,0 +1,240 @@
+#include "run/spec.hpp"
+
+#include <stdexcept>
+
+namespace cohesion::run {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+RunSeeds seed_streams(std::uint64_t run_seed) {
+  RunSeeds s;
+  s.run = run_seed;
+  s.engine = splitmix64(run_seed);
+  s.scheduler = splitmix64(run_seed);
+  s.initial = splitmix64(run_seed);
+  return s;
+}
+
+RunSeeds derive_seeds(std::uint64_t experiment_seed, std::uint64_t run_index) {
+  // Decorrelate the (seed, index) pair before streaming: two experiments
+  // with nearby seeds must not share any per-run seed streams.
+  std::uint64_t state = experiment_seed ^ (0xA0761D6478BD642Full * (run_index + 1));
+  return seed_streams(splitmix64(state));
+}
+
+Json FactorySpec::to_json() const {
+  Json j = Json::object();
+  j.set("type", type);
+  if (!params.entries().empty()) j.set("params", params);
+  return j;
+}
+
+FactorySpec FactorySpec::from_json(const Json& j, const std::string& fallback_type) {
+  FactorySpec f;
+  if (j.is_string()) {
+    // Shorthand: "fsync" == {"type": "fsync"}.
+    f.type = j.as_string();
+    return f;
+  }
+  f.type = j.string_or("type", fallback_type);
+  if (const Json* p = j.find("params")) {
+    if (!p->is_object()) throw std::runtime_error("FactorySpec params must be an object");
+    f.params = *p;
+  }
+  return f;
+}
+
+Json RunSpec::to_json() const {
+  Json j = Json::object();
+  j.set("name", name);
+  j.set("n", n);
+  j.set("seed", seed);
+  j.set("algorithm", algorithm.to_json());
+  j.set("scheduler", scheduler.to_json());
+  j.set("error", error.to_json());
+  j.set("initial", initial.to_json());
+  Json vis = Json::object();
+  vis.set("radius", visibility_radius);
+  vis.set("open_ball", open_ball);
+  vis.set("multiplicity", multiplicity_detection);
+  j.set("visibility", vis);
+  j.set("use_spatial_index", use_spatial_index);
+  Json stop_j = Json::object();
+  stop_j.set("epsilon", stop.epsilon);
+  stop_j.set("max_activations", stop.max_activations);
+  stop_j.set("check_every", stop.check_every);
+  j.set("stop", stop_j);
+  return j;
+}
+
+RunSpec RunSpec::from_json(const Json& j) {
+  if (!j.is_object()) throw std::runtime_error("RunSpec must be a JSON object");
+  RunSpec s;
+  s.name = j.string_or("name", s.name);
+  s.n = static_cast<std::size_t>(j.uint_or("n", s.n));
+  s.seed = j.uint_or("seed", s.seed);
+  if (const Json* v = j.find("algorithm")) s.algorithm = FactorySpec::from_json(*v, "kknps");
+  if (const Json* v = j.find("scheduler")) s.scheduler = FactorySpec::from_json(*v, "kasync");
+  if (const Json* v = j.find("error")) s.error = FactorySpec::from_json(*v, "noisy");
+  if (const Json* v = j.find("initial")) s.initial = FactorySpec::from_json(*v, "random");
+  if (const Json* vis = j.find("visibility")) {
+    s.visibility_radius = vis->number_or("radius", s.visibility_radius);
+    s.open_ball = vis->bool_or("open_ball", s.open_ball);
+    s.multiplicity_detection = vis->bool_or("multiplicity", s.multiplicity_detection);
+  }
+  s.use_spatial_index = j.bool_or("use_spatial_index", s.use_spatial_index);
+  if (const Json* st = j.find("stop")) {
+    s.stop.epsilon = st->number_or("epsilon", s.stop.epsilon);
+    s.stop.max_activations =
+        static_cast<std::size_t>(st->uint_or("max_activations", s.stop.max_activations));
+    s.stop.check_every = static_cast<std::size_t>(st->uint_or("check_every", s.stop.check_every));
+  }
+  return s;
+}
+
+void apply_override(Json& doc, const std::string& path, const Json& value) {
+  if (path.empty()) {
+    if (!value.is_object()) {
+      throw std::runtime_error("sweep axis with empty path requires object values");
+    }
+    for (const auto& [k, v] : value.entries()) {
+      if (k == "label") continue;  // display-only
+      Json* slot = doc.find(k);
+      if (slot && slot->is_object() && v.is_object()) {
+        apply_override(*slot, "", v);
+      } else {
+        doc.set(k, v);
+      }
+    }
+    return;
+  }
+  const std::size_t dot = path.find('.');
+  const std::string head = path.substr(0, dot);
+  if (head.empty()) throw std::runtime_error("empty sweep-path segment in \"" + path + "\"");
+  if (!doc.is_object()) throw std::runtime_error("sweep path \"" + path + "\" descends into a non-object");
+  if (dot == std::string::npos) {
+    doc.set(head, value);
+    return;
+  }
+  Json* child = doc.find(head);
+  if (!child) {
+    doc.set(head, Json::object());
+    child = doc.find(head);
+  }
+  apply_override(*child, path.substr(dot + 1), value);
+}
+
+namespace {
+
+std::string value_label(const Json& v) {
+  if (const Json* l = v.find("label")) return l->as_string();
+  if (v.is_string()) return v.as_string();
+  return v.dump();
+}
+
+std::string axis_label(const SweepAxis& axis, const Json& v) {
+  if (axis.path.empty()) return value_label(v);
+  // Last path segment is usually descriptive enough ("k", "n", ...).
+  const std::size_t dot = axis.path.rfind('.');
+  const std::string leaf = dot == std::string::npos ? axis.path : axis.path.substr(dot + 1);
+  return leaf + "=" + value_label(v);
+}
+
+}  // namespace
+
+std::size_t ExperimentSpec::variant_count() const {
+  std::size_t count = 1;
+  for (const SweepAxis& axis : axes) {
+    if (axis.values.empty()) throw std::runtime_error("sweep axis \"" + axis.path + "\" has no values");
+    count *= axis.values.size();
+  }
+  return count;
+}
+
+std::vector<ExpandedRun> ExperimentSpec::expand() const {
+  const std::size_t variants = variant_count();
+  const std::size_t reps = std::max<std::size_t>(repeats, 1);
+  const Json base_json = base.to_json();
+
+  std::vector<ExpandedRun> out;
+  out.reserve(variants * reps);
+  std::vector<std::size_t> odometer(axes.size(), 0);
+  for (std::size_t v = 0; v < variants; ++v) {
+    Json doc = base_json;
+    std::string label;
+    for (std::size_t a = 0; a < axes.size(); ++a) {
+      const Json& value = axes[a].values[odometer[a]];
+      apply_override(doc, axes[a].path, value);
+      if (!label.empty()) label += ",";
+      label += axis_label(axes[a], value);
+    }
+    if (label.empty()) label = base.name;
+    RunSpec resolved = RunSpec::from_json(doc);
+    // The JSON round trip cannot carry the programmatic stop predicate.
+    resolved.stop.predicate = base.stop.predicate;
+    for (std::size_t r = 0; r < reps; ++r) {
+      ExpandedRun run;
+      run.spec = resolved;
+      run.index = v * reps + r;
+      run.variant = v;
+      run.repeat = r;
+      run.label = label;
+      run.spec.name = name + "/" + label + (reps > 1 ? "#" + std::to_string(r) : "");
+      // A sweep axis may pin the seed itself (resolved.seed then differs
+      // from the base); derivation applies only to unpinned variants.
+      if (resolved.seed == base.seed) {
+        run.spec.seed = derive_seeds(base.seed, run.index).run;
+      }
+      out.push_back(std::move(run));
+    }
+    // Advance the odometer, last axis fastest (so the first axis is the
+    // outermost loop, matching reading order of the JSON).
+    for (std::size_t a = axes.size(); a-- > 0;) {
+      if (++odometer[a] < axes[a].values.size()) break;
+      odometer[a] = 0;
+    }
+  }
+  return out;
+}
+
+Json ExperimentSpec::to_json() const {
+  Json j = Json::object();
+  j.set("name", name);
+  j.set("base", base.to_json());
+  j.set("repeats", repeats);
+  if (!axes.empty()) {
+    JsonArray arr;
+    for (const SweepAxis& axis : axes) {
+      Json a = Json::object();
+      a.set("path", axis.path);
+      a.set("values", Json(JsonArray(axis.values)));
+      arr.push_back(std::move(a));
+    }
+    j.set("sweep", Json(std::move(arr)));
+  }
+  return j;
+}
+
+ExperimentSpec ExperimentSpec::from_json(const Json& j) {
+  if (!j.is_object()) throw std::runtime_error("ExperimentSpec must be a JSON object");
+  ExperimentSpec e;
+  e.name = j.string_or("name", e.name);
+  e.base = RunSpec::from_json(j.at("base"));
+  e.repeats = static_cast<std::size_t>(j.uint_or("repeats", e.repeats));
+  if (const Json* sweep = j.find("sweep")) {
+    for (const Json& a : sweep->items()) {
+      SweepAxis axis;
+      axis.path = a.at("path").as_string();
+      axis.values = a.at("values").items();
+      e.axes.push_back(std::move(axis));
+    }
+  }
+  return e;
+}
+
+}  // namespace cohesion::run

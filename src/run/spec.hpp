@@ -1,0 +1,119 @@
+// Declarative run descriptions: a RunSpec names every ingredient of one
+// simulation (algorithm, scheduler, error model, initial configuration,
+// visibility, stop rule, seed) by registry key + JSON params, and an
+// ExperimentSpec turns a RunSpec into a whole sweep — a cartesian grid of
+// parameter overrides times a repeat count — in one JSON artifact.
+//
+// Seed derivation (the rule that makes batches deterministic regardless of
+// worker-thread count): every expanded run gets
+//
+//   run_seed        = mix(experiment_seed, run_index)        (splitmix64)
+//   engine_seed     = stream(run_seed, 0)
+//   scheduler_seed  = stream(run_seed, 1)
+//   initial_seed    = stream(run_seed, 2)
+//
+// where run_index enumerates the grid in document order (variants outer,
+// repeats inner). Seeds depend only on the spec and the run's position in
+// the grid, never on scheduling of the worker pool. A scheduler/initial
+// params object may pin "seed" explicitly, which wins over derivation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/stop_condition.hpp"
+#include "run/json.hpp"
+
+namespace cohesion::run {
+
+/// SplitMix64 step — the standard 64-bit mixer (Steele et al.), used for
+/// all seed derivation.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Seeds for one run, derived per the rule above.
+struct RunSeeds {
+  std::uint64_t run = 0;        ///< per-run master seed
+  std::uint64_t engine = 0;     ///< EngineConfig::seed
+  std::uint64_t scheduler = 0;  ///< generative-scheduler seed
+  std::uint64_t initial = 0;    ///< initial-configuration seed
+};
+
+RunSeeds derive_seeds(std::uint64_t experiment_seed, std::uint64_t run_index);
+
+/// The component streams of a run master seed (RunSpec::seed). Used by
+/// instantiate(); exposed so tests can pin the rule. Note the state is
+/// advanced by value: seed_streams(s).run == s.
+RunSeeds seed_streams(std::uint64_t run_seed);
+
+/// One registry-resolvable component: a string key plus a params object
+/// whose schema belongs to the factory behind the key.
+struct FactorySpec {
+  std::string type;
+  Json params = Json::object();
+
+  [[nodiscard]] Json to_json() const;
+  static FactorySpec from_json(const Json& j, const std::string& fallback_type);
+};
+
+/// Complete description of one run. Defaults reproduce the quickstart
+/// setup: KKNPS under k-Async on a random connected configuration.
+struct RunSpec {
+  std::string name = "run";
+  std::size_t n = 16;
+  std::uint64_t seed = 1;  ///< master seed; see derive_seeds
+  FactorySpec algorithm{.type = "kknps"};
+  FactorySpec scheduler{.type = "kasync"};
+  FactorySpec error{.type = "noisy"};
+  FactorySpec initial{.type = "random"};
+  double visibility_radius = 1.0;
+  bool open_ball = false;
+  bool multiplicity_detection = false;
+  bool use_spatial_index = true;
+  core::StopCondition stop;  ///< predicate is not serialized
+
+  [[nodiscard]] Json to_json() const;
+  static RunSpec from_json(const Json& j);
+};
+
+/// One axis of a sweep. `path` is a dotted path into the RunSpec JSON
+/// ("scheduler.params.k", "n", ...); each value is substituted at that
+/// path. The empty path "" deep-merges object values into the whole spec,
+/// which expresses correlated overrides (e.g. matching algorithm and
+/// scheduler k) and irregular case lists; such objects may carry a "label"
+/// key, consumed for display only.
+struct SweepAxis {
+  std::string path;
+  std::vector<Json> values;
+};
+
+/// A RunSpec expanded at one grid point, ready to execute.
+struct ExpandedRun {
+  RunSpec spec;          ///< fully resolved (overrides applied, seeds derived)
+  std::size_t index = 0;    ///< position in the grid (document order)
+  std::size_t variant = 0;  ///< grid point (repeats collapse to one variant)
+  std::size_t repeat = 0;
+  std::string label;        ///< human-readable grid-point description
+};
+
+struct ExperimentSpec {
+  std::string name = "experiment";
+  RunSpec base;
+  std::size_t repeats = 1;  ///< runs per grid point (distinct derived seeds)
+  std::vector<SweepAxis> axes;
+
+  /// Expand to the full run list: cartesian product of the axes (first axis
+  /// outermost) times `repeats`, in document order. Deterministic.
+  [[nodiscard]] std::vector<ExpandedRun> expand() const;
+  [[nodiscard]] std::size_t variant_count() const;
+
+  [[nodiscard]] Json to_json() const;
+  static ExperimentSpec from_json(const Json& j);
+};
+
+/// Substitute `value` at dotted `path` inside spec JSON `doc`, creating
+/// intermediate objects as needed. Empty path requires an object value and
+/// deep-merges it (objects recursively, anything else replaces).
+void apply_override(Json& doc, const std::string& path, const Json& value);
+
+}  // namespace cohesion::run

@@ -11,20 +11,124 @@ using core::Activation;
 using core::RobotId;
 using core::SimulationView;
 
+namespace {
+/// Interval-membership slack shared by both bookkeeping paths.
+constexpr double kIntervalEps = 1e-12;
+}  // namespace
+
 KAsyncScheduler::KAsyncScheduler(std::size_t robot_count) : KAsyncScheduler(robot_count, Params{}) {}
 
 KAsyncScheduler::KAsyncScheduler(std::size_t robot_count, Params params)
     : n_(robot_count), params_(params), rng_(params.seed), next_ready_(robot_count, 0.0) {
   if (robot_count == 0) throw std::invalid_argument("KAsyncScheduler: no robots");
   if (params.k == 0) throw std::invalid_argument("KAsyncScheduler: k must be >= 1");
+  if (params_.indexed_intervals && params_.k != static_cast<std::size_t>(-1)) {
+    // The rings cost n * k doubles. For absurdly large finite k (someone
+    // approximating unbounded asynchrony) that would overflow or exhaust
+    // memory, so fall back to the legacy scan, whose footprint is
+    // k-independent.
+    constexpr std::size_t kMaxRingEntries = std::size_t{1} << 24;  // 128 MiB
+    if (params_.k > kMaxRingEntries / n_) {
+      params_.indexed_intervals = false;
+    } else {
+      own_looks_.resize(n_ * params_.k, 0.0);
+      own_look_count_.resize(n_, 0);
+      intervals_.reserve(2 * n_ + 17);
+      prefix_max_end_.reserve(2 * n_ + 17);
+    }
+  }
   // Stagger initial looks so intervals overlap from the start.
   std::uniform_real_distribution<double> jitter(0.0, params.min_duration);
   for (auto& t : next_ready_) t = jitter(rng_);
 }
 
+double KAsyncScheduler::postpone_indexed(RobotId best, double look) {
+  const std::size_t k = params_.k;
+  if (own_look_count_[best] < k) return look;  // fewer than k looks ever committed
+  // The oldest of the robot's k most recent looks sits in the ring slot the
+  // next look will overwrite.
+  const double kth_recent = own_looks_[best * k + own_look_count_[best] % k];
+  // An interval is saturated for this robot iff its start admits all k
+  // recent looks (start + eps < kth_recent, the same predicate the legacy
+  // path applies look by look). Starts are non-decreasing, so the
+  // candidates are a prefix.
+  const auto split = std::partition_point(
+      intervals_.begin(), intervals_.end(),
+      [&](const OpenInterval& c) { return kth_recent > c.start + kIntervalEps; });
+  if (split == intervals_.begin()) return look;
+  const double max_end = prefix_max_end_[static_cast<std::size_t>(split - intervals_.begin()) - 1];
+  // One step settles the legacy fixed point: the candidate set is
+  // look-independent, and after jumping to the max end no candidate can
+  // still contain the look. Expired candidates have ends at or below the
+  // look and fail the same containment test they fail in the legacy scan.
+  if (look < max_end - kIntervalEps) look = max_end;
+  return look;
+}
+
+double KAsyncScheduler::postpone_legacy(RobotId best, double look) {
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (const Committed& c : open_) {
+      if (c.robot == best) continue;
+      if (look > c.start + kIntervalEps && look < c.end - kIntervalEps &&
+          c.looks_inside[best] >= params_.k) {
+        look = c.end;  // postpone past the saturated interval
+        moved = true;
+      }
+    }
+  }
+  return look;
+}
+
+void KAsyncScheduler::commit_indexed(RobotId best, const Activation& a) {
+  if (params_.k == static_cast<std::size_t>(-1)) return;  // unrestricted: nothing to track
+  // Record the robot's own committed look in its ring of the last k.
+  const std::size_t k = params_.k;
+  own_looks_[best * k + own_look_count_[best] % k] = a.t_look;
+  ++own_look_count_[best];
+
+  // Amortized compaction: drop expired intervals (same threshold as the
+  // legacy erase_if) once the list exceeds twice the robot count. At most
+  // one interval per robot is open, so this at least halves the list.
+  if (intervals_.size() >= 2 * n_ + 16) {
+    const double look = a.t_look;
+    std::size_t w = 0;
+    for (const OpenInterval& c : intervals_) {
+      if (c.end > look + kIntervalEps) intervals_[w++] = c;
+    }
+    intervals_.resize(w);
+    prefix_max_end_.resize(w);
+    double running = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < w; ++i) {
+      running = std::max(running, intervals_[i].end);
+      prefix_max_end_[i] = running;
+    }
+  }
+  // Append the new interval; starts arrive non-decreasing, so creation
+  // order keeps the list sorted and the prefix max extends in O(1).
+  intervals_.push_back({a.t_look, a.t_move_end});
+  prefix_max_end_.push_back(prefix_max_end_.empty()
+                                ? a.t_move_end
+                                : std::max(prefix_max_end_.back(), a.t_move_end));
+}
+
+void KAsyncScheduler::commit_legacy(RobotId best, const Activation& a) {
+  const double look = a.t_look;
+  for (Committed& c : open_) {
+    if (c.robot != best && look > c.start + kIntervalEps && look < c.end - kIntervalEps) {
+      ++c.looks_inside[best];
+    }
+  }
+  open_.push_back({best, a.t_look, a.t_move_end, std::vector<std::size_t>(n_, 0)});
+  std::erase_if(open_, [&](const Committed& c) { return c.end <= look + kIntervalEps; });
+}
+
 std::optional<Activation> KAsyncScheduler::next(const SimulationView& view) {
   // Pick the robot with the earliest permissible look time (jittered to vary
-  // the interleaving), then enforce the k-bound by postponement.
+  // the interleaving), then enforce the k-bound by postponement. The two
+  // bookkeeping paths draw no RNG, so the schedules they produce are
+  // bit-identical (tests/sched/kasync_index_test.cpp).
   const double frontier = view.frontier();
   RobotId best = 0;
   double best_t = std::numeric_limits<double>::infinity();
@@ -39,17 +143,8 @@ std::optional<Activation> KAsyncScheduler::next(const SimulationView& view) {
 
   double look = std::max(next_ready_[best], frontier);
   if (params_.k != static_cast<std::size_t>(-1)) {
-    bool moved = true;
-    while (moved) {
-      moved = false;
-      for (const Committed& c : open_) {
-        if (c.robot == best) continue;
-        if (look > c.start + 1e-12 && look < c.end - 1e-12 && c.looks_inside[best] >= params_.k) {
-          look = c.end;  // postpone past the saturated interval
-          moved = true;
-        }
-      }
-    }
+    look = params_.indexed_intervals ? postpone_indexed(best, look)
+                                     : postpone_legacy(best, look);
   }
 
   std::uniform_real_distribution<double> dur(params_.min_duration, params_.max_duration);
@@ -65,15 +160,11 @@ std::optional<Activation> KAsyncScheduler::next(const SimulationView& view) {
   a.t_move_end = look + duration;
   a.realized_fraction = params_.xi >= 1.0 ? 1.0 : frac(rng_);
 
-  // Book-keeping: count this Look inside every open foreign interval, then
-  // register the new interval and prune closed ones.
-  for (Committed& c : open_) {
-    if (c.robot != best && look > c.start + 1e-12 && look < c.end - 1e-12) {
-      ++c.looks_inside[best];
-    }
+  if (params_.indexed_intervals) {
+    commit_indexed(best, a);
+  } else {
+    commit_legacy(best, a);
   }
-  open_.push_back({best, a.t_look, a.t_move_end, std::vector<std::size_t>(n_, 0)});
-  std::erase_if(open_, [&](const Committed& c) { return c.end <= look + 1e-12; });
 
   next_ready_[best] = a.t_move_end + gap(rng_);
   return a;

@@ -30,6 +30,11 @@ class KAsyncScheduler final : public core::Scheduler {
     double max_gap = 1.0;             ///< max inactivity (fairness bound)
     double xi = 1.0;                  ///< min realized move fraction
     std::uint64_t seed = 11;
+    /// Indexed open-interval bookkeeping (see below). false selects the
+    /// original flat scan — kept as the equivalence oracle and for the
+    /// ablation bench; both paths draw RNG identically and produce
+    /// bit-identical schedules.
+    bool indexed_intervals = true;
   };
 
   explicit KAsyncScheduler(std::size_t robot_count);
@@ -39,17 +44,59 @@ class KAsyncScheduler final : public core::Scheduler {
   [[nodiscard]] std::string_view name() const override { return "k-Async"; }
 
  private:
+  // Legacy representation: every open interval carries a dense per-robot
+  // Look-count vector — O(n) allocation + zeroing per proposal and O(n^2)
+  // live memory at steady state (one n-sized vector per robot's interval).
   struct Committed {
     core::RobotId robot;
     double start, end;
     std::vector<std::size_t> looks_inside;  // per-robot Look counts in (start, end)
   };
 
+  // Indexed representation. Two observations turn the per-proposal walks
+  // into O(log n) queries:
+  //
+  //  * Counts are derivable from the looking robot's own history. An
+  //    interval X holds >= k looks of Y exactly when Y's k-th most recent
+  //    committed look lies strictly inside it — and since all of Y's looks
+  //    precede the proposal being placed, "inside" reduces to "after the
+  //    interval's start". So instead of incrementing a counter in every
+  //    open interval containing each look (Theta(open intervals) per
+  //    proposal, with the legacy dense count vectors costing O(n)
+  //    allocation + zeroing each and O(n^2) live memory), each robot keeps
+  //    a ring of its own last k look times.
+  //  * Committed look times are non-decreasing (the Scheduler contract), so
+  //    the open-interval list in creation order is sorted by start. The
+  //    saturated intervals for Y are then a *prefix* of the list (start
+  //    before Y's k-th recent look) found by binary search, and the
+  //    postponement target is the prefix's maximum end — an append-only
+  //    prefix-max array. The candidate set does not depend on the proposal
+  //    time, so the legacy fixed-point loop collapses to one max lookup.
+  //
+  // Expired intervals are compacted away once the list exceeds twice the
+  // robot count (at most one interval per robot is open, so compaction
+  // halves it — amortized O(1) per proposal). Results are bit-identical to
+  // the legacy scan (tests/sched/kasync_index_test.cpp) up to ties between
+  // interval end times closer than 1e-12, which the continuous random
+  // durations do not produce.
+  struct OpenInterval {
+    double start, end;
+  };
+
+  double postpone_indexed(core::RobotId best, double look);
+  double postpone_legacy(core::RobotId best, double look);
+  void commit_indexed(core::RobotId best, const core::Activation& a);
+  void commit_legacy(core::RobotId best, const core::Activation& a);
+
   std::size_t n_;
   Params params_;
   std::mt19937_64 rng_;
   std::vector<double> next_ready_;     // earliest allowed next look per robot
-  std::vector<Committed> open_;        // committed intervals that may still nest looks
+  std::vector<Committed> open_;        // legacy path: flat open-interval list
+  std::vector<OpenInterval> intervals_;  // indexed path: sorted by start
+  std::vector<double> prefix_max_end_;   // prefix max of intervals_[i].end
+  std::vector<double> own_looks_;        // n x k ring of own committed looks
+  std::vector<std::uint64_t> own_look_count_;
 };
 
 class KNestAScheduler final : public core::Scheduler {

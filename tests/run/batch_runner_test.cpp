@@ -1,0 +1,133 @@
+#include "run/batch_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "run/instantiate.hpp"
+
+namespace cohesion::run {
+namespace {
+
+/// A small but real sweep: 2 scheduler-k variants x 4 repeats of KKNPS on a
+/// line chain, a few thousand activations each.
+ExperimentSpec small_sweep() {
+  ExperimentSpec e;
+  e.name = "determinism";
+  e.base.n = 8;
+  e.base.seed = 2024;
+  e.base.algorithm = {.type = "kknps", .params = Json::parse(R"({"k": 2})")};
+  e.base.scheduler = {.type = "kasync", .params = Json::parse(R"({"xi": 0.5})")};
+  e.base.initial = {.type = "line", .params = Json::parse(R"({"spacing": 0.9})")};
+  e.base.stop.epsilon = 0.05;
+  e.base.stop.max_activations = 20000;
+  e.repeats = 4;
+  e.axes.push_back({"scheduler.params.k", {Json(1), Json(2)}});
+  return e;
+}
+
+TEST(BatchRunner, SweepIsBitIdenticalAt1And8WorkerThreads) {
+  const ExperimentSpec e = small_sweep();
+
+  BatchRunner::Options one;
+  one.threads = 1;
+  BatchRunner::Options eight;
+  eight.threads = 8;
+  const BatchResult r1 = BatchRunner(one).run(e);
+  const BatchResult r8 = BatchRunner(eight).run(e);
+
+  ASSERT_EQ(r1.outcomes.size(), 8u);
+  ASSERT_EQ(r8.outcomes.size(), 8u);
+  // Per-run results identical, including every analyzed metric...
+  for (std::size_t i = 0; i < r1.outcomes.size(); ++i) {
+    EXPECT_EQ(r1.outcomes[i].to_json().dump(), r8.outcomes[i].to_json().dump()) << i;
+  }
+  // ...and so the aggregated report (timing excluded) is byte-identical.
+  EXPECT_EQ(BatchRunner::report_json(e, r1, false).dump(2),
+            BatchRunner::report_json(e, r8, false).dump(2));
+}
+
+TEST(BatchRunner, AggregateFoldsTheExpectedFields) {
+  const ExperimentSpec e = small_sweep();
+  BatchRunner::Options options;
+  options.threads = 2;
+  const BatchResult r = BatchRunner(options).run(e);
+  const Aggregate a = BatchRunner::aggregate(r.outcomes);
+  EXPECT_EQ(a.runs, 8u);
+  EXPECT_EQ(a.errors, 0u);
+  EXPECT_EQ(a.converged, 8u);  // an 8-robot chain converges well within budget
+  EXPECT_EQ(a.cohesion_failures, 0u);
+  EXPECT_GT(a.mean_rounds, 0.0);
+  EXPECT_LE(a.p50_rounds, a.p90_rounds);
+  EXPECT_GT(a.total_activations, 0u);
+  EXPECT_NEAR(a.mean_initial_diameter, 0.9 * 7, 1e-9);
+
+  const auto by_variant = BatchRunner::aggregate_by_variant(r.outcomes);
+  ASSERT_EQ(by_variant.size(), 2u);
+  EXPECT_EQ(by_variant[0].runs, 4u);
+  EXPECT_EQ(by_variant[1].runs, 4u);
+}
+
+TEST(BatchRunner, TraceMetricHookRunsPerRun) {
+  ExperimentSpec e = small_sweep();
+  e.repeats = 2;
+  BatchRunner::Options options;
+  options.threads = 4;
+  options.trace_metric = [](const RunSpec& spec, const core::Engine& engine) {
+    // Anything derivable from the finished engine; here: activations per
+    // robot, which is > 0 for every robot under a fair scheduler.
+    return static_cast<double>(engine.trace().records().size()) /
+           static_cast<double>(spec.n);
+  };
+  const BatchResult r = BatchRunner(options).run(e);
+  for (const RunOutcome& o : r.outcomes) EXPECT_GT(o.custom, 0.0);
+}
+
+TEST(BatchRunner, ARunFailureIsCapturedNotFatal) {
+  ExperimentSpec e = small_sweep();
+  e.repeats = 1;
+  // Second variant names a nonexistent algorithm: expansion succeeds (the
+  // key is data), execution of that run fails, the rest are unaffected.
+  Json bad = Json::object();
+  bad.set("label", "bad");
+  Json algo = Json::object();
+  algo.set("type", "definitely_not_registered");
+  bad.set("algorithm", algo);
+  Json good = Json::object();
+  good.set("label", "good");
+  e.axes = {SweepAxis{"", {good, bad}}};
+
+  const BatchResult r = BatchRunner().run(e);
+  ASSERT_EQ(r.outcomes.size(), 2u);
+  EXPECT_TRUE(r.outcomes[0].error.empty());
+  EXPECT_NE(r.outcomes[1].error.find("definitely_not_registered"), std::string::npos);
+  const Aggregate a = BatchRunner::aggregate(r.outcomes);
+  EXPECT_EQ(a.errors, 1u);
+  EXPECT_EQ(a.converged, 1u);
+}
+
+TEST(Instantiate, BuildsEverySlotFromTheSpec) {
+  RunSpec spec;
+  spec.n = 6;
+  spec.seed = 5;
+  spec.algorithm = {.type = "null"};
+  spec.scheduler = {.type = "fsync"};
+  spec.error = {.type = "exact"};
+  spec.initial = {.type = "grid", .params = Json::parse(R"({"spacing": 0.5})")};
+  spec.visibility_radius = 2.0;
+  RunInstance inst = instantiate(spec);
+  EXPECT_EQ(inst.algorithm->name(), "Null");
+  EXPECT_EQ(inst.scheduler->name(), "FSync");
+  EXPECT_EQ(inst.initial.size(), 6u);
+  EXPECT_DOUBLE_EQ(inst.config.visibility.radius, 2.0);
+  EXPECT_FALSE(inst.config.error.random_rotation);
+  EXPECT_EQ(inst.config.seed, seed_streams(5).engine);
+  ASSERT_NE(inst.engine, nullptr);
+  EXPECT_EQ(inst.engine->robot_count(), 6u);
+  // A null-algorithm FSync run executes and never moves anyone.
+  inst.engine->run(12);
+  EXPECT_DOUBLE_EQ(inst.engine->current_diameter(),
+                   metrics::analyze(inst.engine->trace(), 2.0, 0.01).initial_diameter);
+}
+
+}  // namespace
+}  // namespace cohesion::run

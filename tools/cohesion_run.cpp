@@ -1,0 +1,117 @@
+// cohesion_run — declarative batch driver: load an experiment spec (JSON),
+// fan it out over a worker pool, emit an aggregated report.
+//
+//   cohesion_run sweep.json                        # run, report to stdout
+//   cohesion_run sweep.json --threads 8            # parallel across runs
+//   cohesion_run sweep.json --out report.json      # write report to a file
+//   cohesion_run sweep.json --no-timing            # deterministic output
+//                                                  # (diffable across thread
+//                                                  #  counts)
+//   cohesion_run --list                            # registry keys
+//
+// The spec is either a full ExperimentSpec ({"base": {...}, "sweep": [...],
+// "repeats": N}) or a bare RunSpec object, which runs once. Spec schema and
+// seed-derivation rules: docs/experiments.md. Exit code: 0 when every run
+// executed without error, 1 otherwise.
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "run/batch_runner.hpp"
+#include "run/registry.hpp"
+
+using namespace cohesion;
+
+namespace {
+
+int list_registries() {
+  const auto print = [](const char* kind, const std::vector<std::string>& keys) {
+    std::cout << kind << ":";
+    for (const std::string& k : keys) std::cout << ' ' << k;
+    std::cout << '\n';
+  };
+  print("algorithms", run::algorithms().keys());
+  print("schedulers", run::schedulers().keys());
+  print("errors", run::errors().keys());
+  print("initials", run::initials().keys());
+  return 0;
+}
+
+int usage(int code) {
+  std::cout << "usage: cohesion_run <spec.json> [--threads N] [--out FILE] [--no-timing]\n"
+               "       cohesion_run --list\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string spec_path;
+  std::string out_path;
+  std::size_t threads = 1;
+  bool timing = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") return list_registries();
+    if (arg == "--help" || arg == "-h") return usage(0);
+    if (arg == "--no-timing") {
+      timing = false;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      try {
+        threads = static_cast<std::size_t>(std::stoul(argv[++i]));
+      } catch (const std::exception&) {
+        std::cerr << "bad --threads value: " << argv[i] << "\n";
+        return usage(2);
+      }
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (spec_path.empty() && !arg.starts_with("--")) {
+      spec_path = arg;
+    } else {
+      std::cerr << "bad argument: " << arg << "\n";
+      return usage(2);
+    }
+  }
+  if (spec_path.empty()) return usage(2);
+
+  try {
+    const run::Json doc = run::Json::parse_file(spec_path);
+    // A bare RunSpec (no "base") runs as a one-run experiment.
+    run::ExperimentSpec experiment;
+    if (doc.contains("base")) {
+      experiment = run::ExperimentSpec::from_json(doc);
+    } else {
+      experiment.base = run::RunSpec::from_json(doc);
+      experiment.name = experiment.base.name;
+    }
+
+    run::BatchRunner::Options options;
+    options.threads = threads;
+    const run::BatchResult result = run::BatchRunner(options).run(experiment);
+    const run::Json report = run::BatchRunner::report_json(experiment, result, timing);
+
+    if (out_path.empty()) {
+      std::cout << report.dump(2) << '\n';
+    } else {
+      std::ofstream out(out_path);
+      if (!out) {
+        std::cerr << "cannot write " << out_path << "\n";
+        return 1;
+      }
+      out << report.dump(2) << '\n';
+      std::cerr << "report written: " << out_path << " (" << result.outcomes.size() << " runs, "
+                << result.threads << " threads, " << result.wall_seconds << " s)\n";
+    }
+
+    for (const run::RunOutcome& o : result.outcomes) {
+      if (!o.error.empty()) {
+        std::cerr << "run " << o.index << " (" << o.label << ") failed: " << o.error << "\n";
+        return 1;
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "cohesion_run: " << e.what() << "\n";
+    return 1;
+  }
+}
