@@ -1,11 +1,25 @@
-// E13 — spatial-index scaling: engine throughput of the grid + kinematic-
-// cache hot path vs the brute-force reference (EngineConfig::
-// use_spatial_index = false) across swarm sizes n in {16, 64, 256, 1024,
-// 4096}. Both paths produce bit-identical traces (see
+// E13 — spatial-index scaling: engine throughput across the three snapshot
+// paths — brute-force reference (EngineConfig::use_spatial_index = false),
+// per-Look-time grid rebuild (incremental_index = false) and incremental
+// cell maintenance (the default) — across swarm sizes n in {16, 64, 256,
+// 1024, 4096}. All three produce bit-identical traces (see
 // tests/core/engine_equivalence_test.cpp); only the work per Look differs:
-// O(cells + neighbors) amortized vs O(n log k). The acceptance bar is a
-// >= 5x activations/sec advantage at n = 1024. The brute-force series stops
-// at 1024 — beyond that a single reference run dominates the whole bench.
+//
+//   brute        O(n log k) per snapshot
+//   rebuild      O(n) per *distinct Look time* — amortizes to O(1)-ish per
+//                Look under FSync (one rebuild serves a whole round), but
+//                stays O(n) per activation under async schedulers
+//   incremental  O(segment cells) per commit + O(candidates) per query,
+//                regardless of how Look times are distributed
+//
+// The interesting axis is therefore incremental-vs-rebuild under KAsync,
+// where every Look has a distinct time: acceptance for PR 3 is >= 1.3x at
+// n = 4096 (BM_KAsyncFast vs the PR 2 BM_KAsyncGrid number). Once the
+// rebuild is gone the scheduler's own O(n) tie-jitter selection loop is
+// the next O(n)-per-activation term, so the KAsync series carries a fourth
+// variant, BM_KAsyncFast = incremental index + the scheduler's opt-in
+// heap selection. The brute-force series stops at 1024 — beyond that a
+// single reference run dominates the whole bench.
 #include <benchmark/benchmark.h>
 
 #include <cmath>
@@ -22,7 +36,17 @@ namespace {
 
 constexpr std::size_t kActivationsPerRobot = 8;
 
-void run_fsync(benchmark::State& state, bool use_spatial_index) {
+enum class Mode { kBrute, kRebuild, kIncremental };
+
+core::EngineConfig config_for(Mode mode) {
+  core::EngineConfig cfg;
+  cfg.visibility.radius = 1.0;
+  cfg.use_spatial_index = mode != Mode::kBrute;
+  cfg.incremental_index = mode == Mode::kIncremental;
+  return cfg;
+}
+
+void run_fsync(benchmark::State& state, Mode mode) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const algo::KknpsAlgorithm algo({.k = 1});
   const auto initial =
@@ -31,10 +55,7 @@ void run_fsync(benchmark::State& state, bool use_spatial_index) {
   for (auto _ : state) {
     state.PauseTiming();
     sched::FSyncScheduler sched(n);
-    core::EngineConfig cfg;
-    cfg.visibility.radius = 1.0;
-    cfg.use_spatial_index = use_spatial_index;
-    core::Engine engine(initial, algo, sched, cfg);
+    core::Engine engine(initial, algo, sched, config_for(mode));
     state.ResumeTiming();
     benchmark::DoNotOptimize(engine.run(activations));
   }
@@ -42,7 +63,7 @@ void run_fsync(benchmark::State& state, bool use_spatial_index) {
                           static_cast<int64_t>(activations));
 }
 
-void run_kasync(benchmark::State& state, bool use_spatial_index) {
+void run_kasync(benchmark::State& state, Mode mode, bool heap_selection = false) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const algo::KknpsAlgorithm algo({.k = 1});
   const auto initial =
@@ -50,11 +71,8 @@ void run_kasync(benchmark::State& state, bool use_spatial_index) {
   const std::size_t activations = n * kActivationsPerRobot;
   for (auto _ : state) {
     state.PauseTiming();
-    sched::KAsyncScheduler sched(n, {.seed = 11});
-    core::EngineConfig cfg;
-    cfg.visibility.radius = 1.0;
-    cfg.use_spatial_index = use_spatial_index;
-    core::Engine engine(initial, algo, sched, cfg);
+    sched::KAsyncScheduler sched(n, {.seed = 11, .heap_selection = heap_selection});
+    core::Engine engine(initial, algo, sched, config_for(mode));
     state.ResumeTiming();
     benchmark::DoNotOptimize(engine.run(activations));
   }
@@ -62,16 +80,34 @@ void run_kasync(benchmark::State& state, bool use_spatial_index) {
                           static_cast<int64_t>(activations));
 }
 
-void BM_FSyncGrid(benchmark::State& state) { run_fsync(state, true); }
-void BM_FSyncBrute(benchmark::State& state) { run_fsync(state, false); }
-void BM_KAsyncGrid(benchmark::State& state) { run_kasync(state, true); }
-void BM_KAsyncBrute(benchmark::State& state) { run_kasync(state, false); }
+// "Grid" keeps naming continuity with the PR 1/PR 2 trajectory in
+// bench/out/BENCH_engine.json: it was the rebuild-per-Look-time path then
+// and still measures exactly that path.
+void BM_FSyncGrid(benchmark::State& state) { run_fsync(state, Mode::kRebuild); }
+void BM_FSyncIncremental(benchmark::State& state) { run_fsync(state, Mode::kIncremental); }
+void BM_FSyncBrute(benchmark::State& state) { run_fsync(state, Mode::kBrute); }
+void BM_KAsyncGrid(benchmark::State& state) { run_kasync(state, Mode::kRebuild); }
+void BM_KAsyncIncremental(benchmark::State& state) { run_kasync(state, Mode::kIncremental); }
+void BM_KAsyncBrute(benchmark::State& state) { run_kasync(state, Mode::kBrute); }
+// The full PR 3 fast path: incremental index + the scheduler's opt-in
+// O(log n) heap selection (Params::heap_selection; a different but equally
+// valid seeded stream). With both O(n)-per-activation costs gone this is
+// the KAsync configuration a production deployment would run.
+void BM_KAsyncFast(benchmark::State& state) {
+  run_kasync(state, Mode::kIncremental, /*heap_selection=*/true);
+}
 
 BENCHMARK(BM_FSyncGrid)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FSyncIncremental)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FSyncBrute)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_KAsyncGrid)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_KAsyncIncremental)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_KAsyncFast)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_KAsyncBrute)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)
     ->Unit(benchmark::kMillisecond);

@@ -24,6 +24,9 @@ FILTER=${BENCH_FILTER:-bench_*}
 cd "$(dirname "$0")/.."
 mkdir -p "$OUT_DIR"
 
+# Documentation must match the tree before numbers are recorded.
+bash tools/check_docs.sh
+
 found=0
 for exe in "$BUILD_DIR"/$FILTER; do
   [ -x "$exe" ] || continue

@@ -37,6 +37,12 @@ Engine::Engine(std::vector<Vec2> initial, const Algorithm& algorithm, Scheduler&
                                    config_.visibility.per_robot_radii.end());
   }
   grid_.set_cell_size(max_radius);
+  if (config_.use_spatial_index && config_.incremental_index) {
+    kin_.set_track_dirty(true);
+    inc_grid_.reset(max_radius, trace_.initial_configuration());
+    positions_now_.resize(trace_.robot_count());
+    pos_epoch_.assign(trace_.robot_count(), 0);
+  }
 }
 
 Vec2 Engine::position(RobotId robot, Time t) const {
@@ -71,6 +77,61 @@ void Engine::snapshot_via_grid(RobotId robot, Time t, const LocalFrame& frame, S
   for (const std::size_t other : neighbor_ids_) {
     if (other == robot) continue;
     snap.neighbours.push_back({frame.perceive(positions_now_[other] - self, rng_), false});
+  }
+}
+
+Vec2 Engine::cached_position(RobotId robot) {
+  // All segment starts are <= the incremental query time (see
+  // snapshot_via_incremental), so the kinematic cache alone is exact here.
+  if (pos_epoch_[robot] != epoch_) {
+    positions_now_[robot] = kin_.position_at(robot, pos_time_);
+    pos_epoch_[robot] = epoch_;
+  }
+  return positions_now_[robot];
+}
+
+void Engine::snapshot_via_incremental(RobotId robot, Time t, const LocalFrame& frame,
+                                      Snapshot& snap) {
+  // Re-bucket exactly the robots whose segments changed since the last
+  // snapshot — between consecutive Look times that is the just-moved robot,
+  // not all n. Their cached positions may describe the replaced segment.
+  for (const RobotId r : kin_.dirty()) {
+    inc_grid_.update(r, kin_.segment_from(r), kin_.segment_realized(r), kin_.segment_end(r));
+    pos_epoch_[r] = 0;
+  }
+  kin_.clear_dirty();
+
+  if (t < inc_time_) {
+    // The scheduler's 1e-12 look-ordering slack can place this Look before
+    // the previous one, where positions live on segments the buckets no
+    // longer cover (and collapsed robots may still be mid-move). Serve the
+    // query through the reference scan; the grid state remains consistent
+    // for the next forward query.
+    snapshot_via_scan(robot, t, frame, snap);
+    return;
+  }
+  inc_grid_.advance_to(t);
+  inc_time_ = t;
+  if (pos_time_ != t) {
+    pos_time_ = t;
+    ++epoch_;
+    if (epoch_ == 0) {  // wrapped: stamps are ambiguous, reset them all
+      std::fill(pos_epoch_.begin(), pos_epoch_.end(), 0);
+      epoch_ = 1;
+    }
+  }
+
+  const Vec2 self = cached_position(robot);
+  const double v = config_.visibility.radius_of(robot);
+  inc_grid_.candidates_near(self, v, neighbor_ids_);
+  snap.neighbours.reserve(neighbor_ids_.size());
+  for (const std::size_t other : neighbor_ids_) {
+    if (other == robot) continue;
+    const Vec2 p = cached_position(other);
+    const double d = self.distance_to(p);
+    const bool visible = config_.visibility.open_ball ? (d < v) : (d <= v + kVisibilityEpsilon);
+    if (!visible) continue;
+    snap.neighbours.push_back({frame.perceive(p - self, rng_), false});
   }
 }
 
@@ -129,10 +190,12 @@ void Engine::resolve_multiplicity(Snapshot& snap) {
 
 Snapshot Engine::honest_snapshot(RobotId robot, Time t, const LocalFrame& frame) {
   Snapshot snap;
-  if (config_.use_spatial_index) {
-    snapshot_via_grid(robot, t, frame, snap);
-  } else {
+  if (!config_.use_spatial_index) {
     snapshot_via_scan(robot, t, frame, snap);
+  } else if (config_.incremental_index) {
+    snapshot_via_incremental(robot, t, frame, snap);
+  } else {
+    snapshot_via_grid(robot, t, frame, snap);
   }
   resolve_multiplicity(snap);
   return snap;

@@ -69,6 +69,14 @@ struct EngineConfig {
   /// brute-force scan over the Trace (bit-identical results, O(n log k)
   /// per snapshot) — used by equivalence tests and scaling benchmarks.
   bool use_spatial_index = true;
+  /// Incremental cell maintenance (IncrementalGrid): robots are re-bucketed
+  /// only when their trajectory segment changes, so async schedulers —
+  /// whose every Look has a distinct time — stop paying an O(n) grid
+  /// rebuild per activation. false selects the per-Look-time full rebuild,
+  /// kept as the bit-identical reference for equivalence tests and the
+  /// incremental-vs-rebuild benchmark axis. Ignored when use_spatial_index
+  /// is false.
+  bool incremental_index = true;
 };
 
 /// Hook that lets an adversary replace the perceived snapshot of a given
@@ -124,12 +132,19 @@ class Engine final : public SimulationView {
   /// Visible-neighbor enumeration via grid cells (positions through the
   /// kinematic cache, grid rebuilt per distinct look time).
   void snapshot_via_grid(RobotId robot, Time t, const LocalFrame& frame, Snapshot& snap);
+  /// Visible-neighbor enumeration via the incrementally-maintained grid:
+  /// candidate cells from IncrementalGrid, exact positions through the
+  /// kinematic cache, no per-Look-time rebuild.
+  void snapshot_via_incremental(RobotId robot, Time t, const LocalFrame& frame, Snapshot& snap);
   /// Reference visible-neighbor enumeration: full scan over Trace positions.
   void snapshot_via_scan(RobotId robot, Time t, const LocalFrame& frame, Snapshot& snap);
   /// Collapse or flag co-located perceived robots (paper footnote 4).
   void resolve_multiplicity(Snapshot& snap);
   /// Ensure positions_now_/grid_ describe time `t`.
   void refresh_grid(Time t);
+  /// positions_now_[robot] at the incremental path's current query time,
+  /// computed on first use per (robot, time) and invalidated on commit.
+  [[nodiscard]] geom::Vec2 cached_position(RobotId robot);
 
   const Algorithm& algorithm_;
   Scheduler& scheduler_;
@@ -149,6 +164,14 @@ class Engine final : public SimulationView {
   std::vector<std::uint32_t> mult_order_;   // multiplicity sort scratch
   Time grid_time_ = 0.0;
   bool grid_valid_ = false;
+
+  // Incremental path (config_.incremental_index): persistent buckets,
+  // per-robot position stamps instead of wholesale refreshes.
+  IncrementalGrid inc_grid_;
+  std::vector<std::uint64_t> pos_epoch_;  // positions_now_[r] valid iff == epoch_
+  std::uint64_t epoch_ = 1;               // bumped whenever pos_time_ changes
+  Time pos_time_ = 0.0;                   // time positions_now_ entries describe
+  Time inc_time_ = 0.0;                   // last incremental query time
 };
 
 }  // namespace cohesion::core

@@ -41,6 +41,31 @@ class KinematicState {
     return segments_[robot].t_look;
   }
 
+  /// Endpoints and end time of the robot's current segment: the robot sits
+  /// at `segment_from` before the move, interpolates between the endpoints
+  /// during it, and rests at `segment_realized` from `segment_end` onward.
+  /// These are what an incremental spatial index buckets by.
+  [[nodiscard]] geom::Vec2 segment_from(RobotId robot) const { return segments_[robot].from; }
+  [[nodiscard]] geom::Vec2 segment_realized(RobotId robot) const {
+    return segments_[robot].realized;
+  }
+  [[nodiscard]] Time segment_end(RobotId robot) const { return segments_[robot].t_move_end; }
+
+  /// Dirty tracking for incremental index maintenance: when enabled, every
+  /// commit() records its robot id so a consumer can re-bucket exactly the
+  /// robots whose segments changed since it last drained the set. Between
+  /// two consecutive Look times that is the just-moved robot (plus any
+  /// same-time co-activators), never all n. Off by default — the reference
+  /// paths pay nothing.
+  void set_track_dirty(bool on) {
+    track_dirty_ = on;
+    if (!on) dirty_.clear();
+  }
+  /// Robots committed since the last clear_dirty(), in commit order. May
+  /// repeat a robot; consumers treat re-bucketing as idempotent.
+  [[nodiscard]] const std::vector<RobotId>& dirty() const { return dirty_; }
+  void clear_dirty() { dirty_.clear(); }
+
   [[nodiscard]] std::size_t robot_count() const { return segments_.size(); }
 
  private:
@@ -52,6 +77,8 @@ class KinematicState {
     Time t_move_end = 0.0;
   };
   std::vector<Segment> segments_;
+  std::vector<RobotId> dirty_;
+  bool track_dirty_ = false;
 };
 
 }  // namespace cohesion::core

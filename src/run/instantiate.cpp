@@ -18,6 +18,7 @@ RunInstance instantiate(const RunSpec& spec) {
   inst.config.error = errors().get(spec.error.type)(spec.error.params);
   inst.config.seed = seeds.engine;
   inst.config.use_spatial_index = spec.use_spatial_index;
+  inst.config.incremental_index = spec.incremental_index;
   inst.engine = std::make_unique<core::Engine>(inst.initial, *inst.algorithm, *inst.scheduler,
                                                inst.config);
   return inst;

@@ -64,6 +64,7 @@ Json RunSpec::to_json() const {
   vis.set("multiplicity", multiplicity_detection);
   j.set("visibility", vis);
   j.set("use_spatial_index", use_spatial_index);
+  j.set("incremental_index", incremental_index);
   Json stop_j = Json::object();
   stop_j.set("epsilon", stop.epsilon);
   stop_j.set("max_activations", stop.max_activations);
@@ -88,6 +89,7 @@ RunSpec RunSpec::from_json(const Json& j) {
     s.multiplicity_detection = vis->bool_or("multiplicity", s.multiplicity_detection);
   }
   s.use_spatial_index = j.bool_or("use_spatial_index", s.use_spatial_index);
+  s.incremental_index = j.bool_or("incremental_index", s.incremental_index);
   if (const Json* st = j.find("stop")) {
     s.stop.epsilon = st->number_or("epsilon", s.stop.epsilon);
     s.stop.max_activations =

@@ -70,6 +70,7 @@ struct RunSpec {
   bool open_ball = false;
   bool multiplicity_detection = false;
   bool use_spatial_index = true;
+  bool incremental_index = true;
   core::StopCondition stop;  ///< predicate is not serialized
 
   [[nodiscard]] Json to_json() const;

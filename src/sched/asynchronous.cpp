@@ -40,6 +40,9 @@ KAsyncScheduler::KAsyncScheduler(std::size_t robot_count, Params params)
   // Stagger initial looks so intervals overlap from the start.
   std::uniform_real_distribution<double> jitter(0.0, params.min_duration);
   for (auto& t : next_ready_) t = jitter(rng_);
+  if (params_.heap_selection) {
+    for (RobotId r = 0; r < n_; ++r) ready_heap_.emplace(next_ready_[r], r);
+  }
 }
 
 double KAsyncScheduler::postpone_indexed(RobotId best, double look) {
@@ -131,13 +134,20 @@ std::optional<Activation> KAsyncScheduler::next(const SimulationView& view) {
   // bit-identical (tests/sched/kasync_index_test.cpp).
   const double frontier = view.frontier();
   RobotId best = 0;
-  double best_t = std::numeric_limits<double>::infinity();
-  std::uniform_real_distribution<double> tie(0.0, 1e-6);
-  for (RobotId r = 0; r < n_; ++r) {
-    const double t = std::max(next_ready_[r], frontier) + tie(rng_);
-    if (t < best_t) {
-      best_t = t;
-      best = r;
+  if (params_.heap_selection) {
+    // Most-starved robot first: ready times only change for the committed
+    // robot (re-pushed below), so the heap top is always current.
+    best = ready_heap_.top().second;
+    ready_heap_.pop();
+  } else {
+    double best_t = std::numeric_limits<double>::infinity();
+    std::uniform_real_distribution<double> tie(0.0, 1e-6);
+    for (RobotId r = 0; r < n_; ++r) {
+      const double t = std::max(next_ready_[r], frontier) + tie(rng_);
+      if (t < best_t) {
+        best_t = t;
+        best = r;
+      }
     }
   }
 
@@ -167,6 +177,7 @@ std::optional<Activation> KAsyncScheduler::next(const SimulationView& view) {
   }
 
   next_ready_[best] = a.t_move_end + gap(rng_);
+  if (params_.heap_selection) ready_heap_.emplace(next_ready_[best], best);
   return a;
 }
 
@@ -239,10 +250,17 @@ std::optional<Activation> KNestAScheduler::next(const SimulationView&) {
 }
 
 ScriptedScheduler::ScriptedScheduler(std::vector<Activation> script) : script_(std::move(script)) {
-  if (!std::is_sorted(script_.begin(), script_.end(), [](const Activation& a, const Activation& b) {
-        return a.t_look < b.t_look;
-      })) {
-    throw std::invalid_argument("ScriptedScheduler: script must be sorted by t_look");
+  // Enforce the same ordering contract the engine does: each look may
+  // regress below the *previous* look (the engine's frontier is the last
+  // committed Look time, not a running max) only within the 1e-12 slack.
+  // (The Section-7 constructions write exactly-sorted scripts; the slack
+  // exists so adversarial scripts can exercise the engine's tolerance too.)
+  double frontier = -std::numeric_limits<double>::infinity();
+  for (const Activation& a : script_) {
+    if (a.t_look + 1e-12 < frontier) {
+      throw std::invalid_argument("ScriptedScheduler: script must be sorted by t_look");
+    }
+    frontier = a.t_look;
   }
 }
 

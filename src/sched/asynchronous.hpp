@@ -13,6 +13,7 @@
 #pragma once
 
 #include <deque>
+#include <queue>
 #include <random>
 #include <vector>
 
@@ -35,6 +36,16 @@ class KAsyncScheduler final : public core::Scheduler {
     /// ablation bench; both paths draw RNG identically and produce
     /// bit-identical schedules.
     bool indexed_intervals = true;
+    /// Robot selection strategy. The default draws a fresh tie-jitter for
+    /// every robot on every proposal and takes the argmin — O(n) RNG draws
+    /// per proposal, the dominant per-proposal cost at n >= 4096, but the
+    /// seeded stream all previously recorded schedules follow. true keeps
+    /// the ready times in a min-heap instead (most-starved robot first,
+    /// O(log n) and O(1) RNG draws per proposal). Both produce valid
+    /// k-async schedules, deterministically from the seed, but along
+    /// *different* streams: enabling this changes every schedule, so it is
+    /// opt-in rather than a new default.
+    bool heap_selection = false;
   };
 
   explicit KAsyncScheduler(std::size_t robot_count);
@@ -92,6 +103,12 @@ class KAsyncScheduler final : public core::Scheduler {
   Params params_;
   std::mt19937_64 rng_;
   std::vector<double> next_ready_;     // earliest allowed next look per robot
+  // heap_selection: robots ordered by ready time (ties by id); a robot's
+  // entry is re-pushed with its new ready time after each of its commits,
+  // so entries are never stale.
+  std::priority_queue<std::pair<double, core::RobotId>,
+                      std::vector<std::pair<double, core::RobotId>>, std::greater<>>
+      ready_heap_;
   std::vector<Committed> open_;        // legacy path: flat open-interval list
   std::vector<OpenInterval> intervals_;  // indexed path: sorted by start
   std::vector<double> prefix_max_end_;   // prefix max of intervals_[i].end

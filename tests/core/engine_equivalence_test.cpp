@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <random>
 #include <vector>
@@ -79,10 +80,15 @@ std::vector<Vec2> make_initial(std::uint64_t seed, std::size_t n, double v) {
   }
 }
 
-EngineConfig make_config(std::uint64_t seed, std::size_t n, bool use_grid) {
+/// The three snapshot paths under test: reference scan over the Trace,
+/// per-Look-time grid rebuild, and incremental cell maintenance.
+enum class IndexMode { kBrute, kRebuild, kIncremental };
+
+EngineConfig make_config(std::uint64_t seed, std::size_t n, IndexMode mode) {
   EngineConfig cfg;
   cfg.seed = seed * 7919 + 13;
-  cfg.use_spatial_index = use_grid;
+  cfg.use_spatial_index = mode != IndexMode::kBrute;
+  cfg.incremental_index = mode == IndexMode::kIncremental;
   cfg.visibility.radius = 1.0;
   cfg.visibility.open_ball = (seed / 2) % 2 == 1;
   cfg.visibility.multiplicity_detection = (seed / 4) % 2 == 1;
@@ -115,7 +121,11 @@ EngineConfig make_config(std::uint64_t seed, std::size_t n, bool use_grid) {
   return cfg;
 }
 
-TEST(EngineEquivalence, GridAndBruteForceProduceIdenticalTraces) {
+TEST(EngineEquivalence, AllIndexModesProduceIdenticalTraces) {
+  // Three engines per seed — brute scan, rebuild grid, incremental grid —
+  // over randomized schedulers (FSync / SSync / k-Async / k-NestA), error
+  // models, visibility variants and initial configurations. All three must
+  // commit bit-identical traces.
   const algo::KknpsAlgorithm kknps({.k = 1});
   const algo::AndoAlgorithm ando(1.0);
   for (std::uint64_t seed = 0; seed < 160; ++seed) {
@@ -124,40 +134,55 @@ TEST(EngineEquivalence, GridAndBruteForceProduceIdenticalTraces) {
     const Algorithm& algorithm = seed % 2 == 0 ? static_cast<const Algorithm&>(kknps)
                                                : static_cast<const Algorithm&>(ando);
 
+    const auto sched_inc = make_scheduler(seed, n);
+    Engine inc(initial, algorithm, *sched_inc, make_config(seed, n, IndexMode::kIncremental));
     const auto sched_grid = make_scheduler(seed, n);
-    Engine grid(initial, algorithm, *sched_grid, make_config(seed, n, /*use_grid=*/true));
+    Engine grid(initial, algorithm, *sched_grid, make_config(seed, n, IndexMode::kRebuild));
     const auto sched_brute = make_scheduler(seed, n);
-    Engine brute(initial, algorithm, *sched_brute, make_config(seed, n, /*use_grid=*/false));
+    Engine brute(initial, algorithm, *sched_brute, make_config(seed, n, IndexMode::kBrute));
 
     if (seed % 7 == 3) {  // fail-stop robots ride along unchanged
+      inc.crash(n / 2);
       grid.crash(n / 2);
       brute.crash(n / 2);
     }
 
     const std::size_t steps = 150;
-    ASSERT_EQ(grid.run(steps), brute.run(steps)) << "seed " << seed;
+    const std::size_t done_brute = brute.run(steps);
+    ASSERT_EQ(grid.run(steps), done_brute) << "seed " << seed;
+    ASSERT_EQ(inc.run(steps), done_brute) << "seed " << seed;
     expect_identical_traces(grid.trace(), brute.trace(), seed);
+    expect_identical_traces(inc.trace(), brute.trace(), seed);
     EXPECT_EQ(grid.current_diameter(), brute.current_diameter()) << "seed " << seed;
+    EXPECT_EQ(inc.current_diameter(), brute.current_diameter()) << "seed " << seed;
     const auto cfg_grid = grid.current_configuration();
+    const auto cfg_inc = inc.current_configuration();
     const auto cfg_brute = brute.current_configuration();
     ASSERT_EQ(cfg_grid.size(), cfg_brute.size());
+    ASSERT_EQ(cfg_inc.size(), cfg_brute.size());
     for (std::size_t r = 0; r < cfg_grid.size(); ++r) {
       EXPECT_EQ(cfg_grid[r], cfg_brute[r]) << "seed " << seed << " robot " << r;
+      EXPECT_EQ(cfg_inc[r], cfg_brute[r]) << "seed " << seed << " robot " << r;
     }
   }
 }
 
 TEST(EngineEquivalence, LargeSwarmSpotCheck) {
   // One production-sized configuration: the grid path crosses many cells and
-  // the per-look rebuild is reused across a whole synchronous round.
+  // the per-look rebuild is reused across a whole synchronous round, while
+  // the incremental path re-buckets one robot per commit.
   const algo::KknpsAlgorithm kknps({.k = 1});
   const std::size_t n = 512;
   const auto initial =
       metrics::random_connected_configuration(n, 0.4 * std::sqrt(double(n)), 1.0, 42);
 
-  sched::FSyncScheduler sched_grid(n);
+  sched::FSyncScheduler sched_inc(n);
   EngineConfig cfg;
   cfg.visibility.radius = 1.0;
+  Engine inc(initial, kknps, sched_inc, cfg);
+
+  sched::FSyncScheduler sched_grid(n);
+  cfg.incremental_index = false;
   Engine grid(initial, kknps, sched_grid, cfg);
 
   sched::FSyncScheduler sched_brute(n);
@@ -165,9 +190,45 @@ TEST(EngineEquivalence, LargeSwarmSpotCheck) {
   Engine brute(initial, kknps, sched_brute, cfg);
 
   const std::size_t steps = n * 4;
-  ASSERT_EQ(grid.run(steps), brute.run(steps));
+  const std::size_t done = brute.run(steps);
+  ASSERT_EQ(grid.run(steps), done);
+  ASSERT_EQ(inc.run(steps), done);
   expect_identical_traces(grid.trace(), brute.trace(), 42);
+  expect_identical_traces(inc.trace(), brute.trace(), 42);
   EXPECT_EQ(grid.current_diameter(), brute.current_diameter());
+  EXPECT_EQ(inc.current_diameter(), brute.current_diameter());
+}
+
+TEST(EngineEquivalence, UnrestrictedAsyncLongRunIncrementalVsRebuild) {
+  // The regime the incremental index exists for: unrestricted Async
+  // (k-Async with the bound removed) gives every Look a distinct time, so
+  // the rebuild path re-indexes all n robots per activation while the
+  // incremental path re-buckets only the just-moved one. A longer run than
+  // the fuzz harness's, across several seeds and swarm sizes.
+  const algo::KknpsAlgorithm kknps({.k = 2});
+  for (const std::uint64_t seed : {3u, 17u, 90u}) {
+    const std::size_t n = 32 + (seed % 3) * 48;
+    const auto initial =
+        metrics::random_connected_configuration(n, 0.4 * std::sqrt(double(n)), 1.0, seed);
+    sched::KAsyncScheduler::Params p;
+    p.k = std::numeric_limits<std::size_t>::max();  // Async: no asynchrony bound
+    p.seed = seed * 31 + 1;
+
+    sched::KAsyncScheduler sched_inc(n, p);
+    EngineConfig cfg;
+    cfg.visibility.radius = 1.0;
+    cfg.error.distance_delta = 0.03;  // per-neighbour RNG draws pin the Look order
+    Engine inc(initial, kknps, sched_inc, cfg);
+
+    sched::KAsyncScheduler sched_grid(n, p);
+    cfg.incremental_index = false;
+    Engine grid(initial, kknps, sched_grid, cfg);
+
+    const std::size_t steps = 2500;
+    ASSERT_EQ(inc.run(steps), grid.run(steps)) << "seed " << seed;
+    expect_identical_traces(inc.trace(), grid.trace(), seed);
+    EXPECT_EQ(inc.current_diameter(), grid.current_diameter()) << "seed " << seed;
+  }
 }
 
 TEST(EngineEquivalence, ZeroDurationMovesInvalidateSameTimeGrid) {
@@ -189,16 +250,68 @@ TEST(EngineEquivalence, ZeroDurationMovesInvalidateSameTimeGrid) {
   cfg.visibility.radius = 1.0;
   cfg.error.random_rotation = false;
 
+  sched::ScriptedScheduler sched_inc(script);
+  Engine inc(initial, cog, sched_inc, cfg);
   sched::ScriptedScheduler sched_grid(script);
+  cfg.incremental_index = false;
   Engine grid(initial, cog, sched_grid, cfg);
   sched::ScriptedScheduler sched_brute(script);
   cfg.use_spatial_index = false;
   Engine brute(initial, cog, sched_brute, cfg);
 
-  ASSERT_EQ(grid.run(script.size()), brute.run(script.size()));
+  const std::size_t done = brute.run(script.size());
+  ASSERT_EQ(grid.run(script.size()), done);
+  ASSERT_EQ(inc.run(script.size()), done);
   expect_identical_traces(grid.trace(), brute.trace(), 0);
+  expect_identical_traces(inc.trace(), brute.trace(), 0);
   // Robot 1 at t=1 must have seen robot 0 at its *post-teleport* position.
   EXPECT_EQ(grid.trace().records()[1].from, brute.trace().records()[1].from);
+}
+
+TEST(EngineEquivalence, BackwardLookWithinSchedulerSlackStaysExact) {
+  // The Scheduler contract allows a Look up to 1e-12 *before* the current
+  // frontier. The incremental path cannot serve such a query from its
+  // forward-maintained buckets (positions then live on already-replaced
+  // segments), so it must fall back to the reference scan for that Look —
+  // and resume incremental service afterwards. All three paths must agree.
+  const algo::CogAlgorithm cog;
+  const std::vector<Vec2> initial{{0.0, 0.0}, {0.6, 0.0}, {0.3, 0.5}, {-0.4, 0.2}};
+  const double eps = 5e-13;  // within the 1e-12 ordering slack
+  const std::vector<Activation> script{
+      {0, 1.0, 1.1, 1.6, 1.0},
+      {1, 1.0 - eps, 1.0, 1.4, 1.0},        // backward Look: robot 0 not yet moved
+      {2, 1.0 - eps / 2, 1.2, 1.5, 0.7},    // forward again, still before t = 1
+      {3, 2.0, 2.1, 2.4, 1.0},              // normal forward service resumes
+      {0, 3.0, 3.0, 3.3, 1.0},
+      {1, 3.0 - eps, 3.1, 3.2, 1.0},        // backward again after real motion
+      {2, 4.0, 4.0, 4.0, 1.0},              // zero-duration move after a fallback
+      {3, 4.0, 4.2, 4.6, 1.0},
+      // Chained sub-slack regression: each Look within 1e-12 of the
+      // *previous* one (the engine's frontier), though the last is more
+      // than 1e-12 below the first — legal per the engine contract.
+      {0, 5.0, 5.1, 5.2, 1.0},
+      {1, 5.0 - 9e-13, 5.0, 5.1, 1.0},
+      {2, 5.0 - 1.8e-12, 5.3, 5.4, 1.0},
+  };
+  EngineConfig cfg;
+  cfg.visibility.radius = 1.0;
+  cfg.error.random_rotation = false;
+
+  sched::ScriptedScheduler sched_inc(script);
+  Engine inc(initial, cog, sched_inc, cfg);
+  sched::ScriptedScheduler sched_grid(script);
+  cfg.incremental_index = false;
+  Engine grid(initial, cog, sched_grid, cfg);
+  sched::ScriptedScheduler sched_brute(script);
+  cfg.use_spatial_index = false;
+  Engine brute(initial, cog, sched_brute, cfg);
+
+  const std::size_t done = brute.run(script.size());
+  ASSERT_EQ(done, script.size());
+  ASSERT_EQ(grid.run(script.size()), done);
+  ASSERT_EQ(inc.run(script.size()), done);
+  expect_identical_traces(grid.trace(), brute.trace(), 0);
+  expect_identical_traces(inc.trace(), brute.trace(), 0);
 }
 
 TEST(EngineEquivalence, ViewPositionsAgreeMidRun) {

@@ -20,6 +20,7 @@ RunSpec sample_spec() {
   s.open_ball = true;
   s.multiplicity_detection = true;
   s.use_spatial_index = false;
+  s.incremental_index = false;
   s.stop.epsilon = 0.08;
   s.stop.max_activations = 1234;
   s.stop.check_every = 32;
@@ -37,6 +38,7 @@ TEST(RunSpec, JsonRoundTripIsExact) {
   EXPECT_EQ(back.stop.max_activations, 1234u);
   EXPECT_TRUE(back.open_ball);
   EXPECT_FALSE(back.use_spatial_index);
+  EXPECT_FALSE(back.incremental_index);
 }
 
 TEST(RunSpec, DefaultsApplyForAbsentFields) {
@@ -46,6 +48,8 @@ TEST(RunSpec, DefaultsApplyForAbsentFields) {
   EXPECT_EQ(s.scheduler.type, "kasync");
   EXPECT_DOUBLE_EQ(s.visibility_radius, 1.0);
   EXPECT_DOUBLE_EQ(s.stop.epsilon, 0.05);
+  EXPECT_TRUE(s.use_spatial_index);
+  EXPECT_TRUE(s.incremental_index);
 }
 
 TEST(RunSpec, FactoryShorthandString) {

@@ -96,6 +96,41 @@ TEST_P(KAsyncValidation, ActuallyExercisesAsynchrony) {
   EXPECT_GE(core::max_activations_within_interval(t), 1u);
 }
 
+TEST_P(KAsyncValidation, HeapSelectionSatisfiesKAndFairness) {
+  // Heap selection follows a different seeded stream (O(1) RNG draws per
+  // proposal instead of n tie-jitters) but must generate equally valid
+  // k-async schedules: the k-bound, fairness and genuine interval overlap
+  // all certify against the same validators.
+  const std::size_t k = GetParam();
+  KAsyncScheduler::Params p;
+  p.k = k;
+  p.seed = 29 + k;
+  p.heap_selection = true;
+  KAsyncScheduler sched(6, p);
+  const Trace t = run_with(sched, 6, 600);
+  EXPECT_TRUE(core::is_k_async(t, k)) << "max nested = "
+                                      << core::max_activations_within_interval(t);
+  EXPECT_TRUE(core::is_fair(t, 20.0));
+  EXPECT_GE(core::max_activations_within_interval(t), 1u);
+}
+
+TEST(KAsync, HeapSelectionIsDeterministicPerSeed) {
+  KAsyncScheduler::Params p;
+  p.k = 2;
+  p.seed = 77;
+  p.heap_selection = true;
+  KAsyncScheduler a(5, p);
+  KAsyncScheduler b(5, p);
+  const Trace ta = run_with(a, 5, 200);
+  const Trace tb = run_with(b, 5, 200);
+  ASSERT_EQ(ta.records().size(), tb.records().size());
+  for (std::size_t i = 0; i < ta.records().size(); ++i) {
+    EXPECT_EQ(ta.records()[i].activation.robot, tb.records()[i].activation.robot);
+    EXPECT_EQ(ta.records()[i].activation.t_look, tb.records()[i].activation.t_look);
+    EXPECT_EQ(ta.records()[i].activation.t_move_end, tb.records()[i].activation.t_move_end);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Sweep, KAsyncValidation, ::testing::Values(1, 2, 3, 5, 8));
 
 class KNestAValidation : public ::testing::TestWithParam<std::size_t> {};

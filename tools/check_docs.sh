@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Docs-freshness gate: fails when the documentation set has rotted behind
+# the tree. Specifically:
+#
+#   * every src/<subsystem>/ directory must be mentioned in
+#     docs/architecture.md  (as "src/<subsystem>");
+#   * every bench/bench_*.cpp must be mentioned by filename in
+#     docs/benchmarks.md;
+#   * the core documentation set (README.md, docs/architecture.md,
+#     docs/benchmarks.md, docs/experiments.md) must exist and README.md
+#     must link every docs/ file.
+#
+# Run from anywhere; wired into bench/run_benches.sh and registered as the
+# `docs_check` ctest test so CI fails on rot.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+complain() {
+  echo "check_docs: $*" >&2
+  fail=1
+}
+
+for doc in README.md docs/architecture.md docs/benchmarks.md docs/experiments.md; do
+  [ -f "$doc" ] || complain "missing $doc"
+done
+[ "$fail" = 0 ] || exit 1
+
+for dir in src/*/; do
+  sub=${dir%/}
+  grep -q "$sub" docs/architecture.md ||
+    complain "docs/architecture.md does not mention subsystem $sub"
+done
+
+for bench in bench/bench_*.cpp; do
+  name=$(basename "$bench")
+  grep -q "$name" docs/benchmarks.md ||
+    complain "docs/benchmarks.md does not mention $name"
+done
+
+for doc in docs/*.md; do
+  name=$(basename "$doc")
+  grep -q "$name" README.md ||
+    complain "README.md does not link docs/$name"
+done
+
+if [ "$fail" = 0 ]; then
+  echo "check_docs: OK (src subsystems, bench files and doc links all covered)"
+fi
+exit "$fail"
