@@ -4,7 +4,11 @@
 # have a perf baseline to compare against. Also drives one declarative sweep
 # (bench/specs/kasync_sweep.json) through the cohesion_run batch driver at 1
 # and N worker threads: asserts the deterministic reports are byte-identical
-# and records the wall-clock numbers + speedup in BENCH_engine.json.
+# and records the wall-clock numbers + speedup in BENCH_engine.json. A
+# second stage re-runs the same sweep as 3 cohesion_run --shard processes
+# plus cohesion_merge and as a truncated-checkpoint --resume, byte-compares
+# both against the single-process report (the shard-union and resume
+# determinism contracts), and records the walls under shard_sweep.
 #
 # Usage: bench/run_benches.sh [BUILD_DIR] [OUT_DIR]
 #   BUILD_DIR  cmake build tree containing the bench_* executables (default: build)
@@ -81,6 +85,65 @@ else
   echo "cohesion_run or bench/specs/kasync_sweep.json missing; skipping sweep" >&2
 fi
 
+# Sharded sweep through cohesion_run/cohesion_merge: the same spec run (a)
+# in one process, (b) as 3 shards merged back together, and (c) resumed
+# from a mid-file-truncated checkpoint. All three deterministic reports
+# must be byte-identical — these are the shard-union and resume contracts
+# of docs/operations.md — and the wall numbers land under shard_sweep.
+SHARD_JSON="$OUT_DIR/shard_sweep_timing.json"
+rm -f "$SHARD_JSON"
+if [ -x "$BUILD_DIR/cohesion_run" ] && [ -x "$BUILD_DIR/cohesion_merge" ] \
+   && [ -f bench/specs/kasync_sweep.json ]; then
+  echo "== sharded sweep (1 process vs 3 shards + merge, + truncated resume)"
+  t_single=$( { time "$BUILD_DIR/cohesion_run" bench/specs/kasync_sweep.json --no-timing \
+      --out "$OUT_DIR/shard_single.json" 2> /dev/null; } 2>&1 | sed -n 's/^real[[:space:]]*//p' )
+  t_shards=$( { time { for i in 0 1 2; do
+        "$BUILD_DIR/cohesion_run" bench/specs/kasync_sweep.json --shard "$i/3" \
+            --out "$OUT_DIR/shard_p$i.json" 2> /dev/null
+      done; }; } 2>&1 | sed -n 's/^real[[:space:]]*//p' )
+  "$BUILD_DIR/cohesion_merge" "$OUT_DIR"/shard_p{0,1,2}.json \
+      --out "$OUT_DIR/shard_merged.json" 2> /dev/null
+  if ! cmp -s "$OUT_DIR/shard_single.json" "$OUT_DIR/shard_merged.json"; then
+    echo "ERROR: 3-shard merged report differs from the single-process report" >&2
+    exit 1
+  fi
+  echo "   shard-union: 3-shard merge byte-identical to single process"
+  rm -f "$OUT_DIR/shard.ckpt"
+  "$BUILD_DIR/cohesion_run" bench/specs/kasync_sweep.json --no-timing \
+      --checkpoint "$OUT_DIR/shard.ckpt" --out /dev/null 2> /dev/null
+  python3 - "$OUT_DIR/shard.ckpt" <<'EOF'
+import pathlib, sys
+p = pathlib.Path(sys.argv[1])
+data = p.read_bytes()
+p.write_bytes(data[: len(data) * 3 // 5])  # kill-at-random-point stand-in
+EOF
+  "$BUILD_DIR/cohesion_run" bench/specs/kasync_sweep.json --no-timing \
+      --resume "$OUT_DIR/shard.ckpt" --out "$OUT_DIR/shard_resumed.json" 2> /dev/null
+  if ! cmp -s "$OUT_DIR/shard_single.json" "$OUT_DIR/shard_resumed.json"; then
+    echo "ERROR: resumed-from-truncated-checkpoint report differs from fresh run" >&2
+    exit 1
+  fi
+  echo "   resume: truncated-checkpoint resume byte-identical to fresh run"
+  rm -f "$OUT_DIR/shard.ckpt"
+  python3 - "$SHARD_JSON" "$t_single" "$t_shards" <<'EOF'
+import json, sys
+
+def seconds(real):  # "0m1.234s" -> 1.234
+    m, s = real.rstrip("s").split("m")
+    return int(m) * 60 + float(s)
+
+target, t_single, t_shards = sys.argv[1:4]
+json.dump({
+    "spec": "bench/specs/kasync_sweep.json",
+    "shards": 3,
+    "wall_seconds_single": round(seconds(t_single), 3),
+    "wall_seconds_3_shards_serial": round(seconds(t_shards), 3),
+}, open(target, "w"))
+EOF
+else
+  echo "cohesion_run/cohesion_merge or bench/specs/kasync_sweep.json missing; skipping shard sweep" >&2
+fi
+
 # Distill activations/sec per swarm size from the engine benches into one
 # trajectory file: {bench -> {benchmark_name -> items_per_second}}, plus the
 # declarative-sweep wall-clock scaling when it ran.
@@ -107,6 +170,11 @@ if batch.exists():
     summary["batch_sweep"] = json.loads(batch.read_text())
     summary["context"] += "; batch_sweep: cohesion_run wall-clock at 1 vs N threads"
     batch.unlink()
+shard = out_dir / "shard_sweep_timing.json"
+if shard.exists():
+    summary["shard_sweep"] = json.loads(shard.read_text())
+    summary["context"] += "; shard_sweep: 1 process vs 3 shards + merge (byte-compared)"
+    shard.unlink()
 target = out_dir / "BENCH_engine.json"
 target.write_text(json.dumps(summary, indent=2) + "\n")
 print(f"wrote {target}")
@@ -117,4 +185,8 @@ if "batch_sweep" in summary:
     b = summary["batch_sweep"]
     print(f"  batch sweep: {b['runs']} runs, {b['wall_seconds_1_thread']}s @1t, "
           f"{b['wall_seconds_N_threads']}s @{b['threads']}t, speedup {b['speedup']}x")
+if "shard_sweep" in summary:
+    s = summary["shard_sweep"]
+    print(f"  shard sweep: {s['wall_seconds_single']}s single vs "
+          f"{s['wall_seconds_3_shards_serial']}s as {s['shards']} serial shards")
 EOF

@@ -261,10 +261,14 @@ bool Engine::run_until(const StopCondition& stop) {
   // A negative epsilon can never match — skip the O(n) diameter scans
   // entirely so fixed-budget runs cost what Engine::run(max) costs.
   const bool check_diameter = stop.epsilon >= 0.0;
+  const bool check_time = stop.max_time > 0.0;
   std::size_t done = 0;
   while (done < stop.max_activations) {
     for (std::size_t i = 0; i < check_every && done < stop.max_activations; ++i, ++done) {
       if (!step()) return check_diameter && current_diameter() <= stop.epsilon;
+      if (check_time && frontier_ >= stop.max_time) {
+        return check_diameter && current_diameter() <= stop.epsilon;
+      }
     }
     if (check_diameter && current_diameter() <= stop.epsilon) return true;
     if (stop.predicate && stop.predicate(*this)) break;

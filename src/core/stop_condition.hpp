@@ -21,6 +21,12 @@ struct StopCondition {
   double epsilon = 0.05;                  ///< convergence diameter (< 0: never)
   std::size_t max_activations = 200000;   ///< activation budget
   std::size_t check_every = 64;           ///< diameter-check cadence (>= 1)
+  /// Simulated-time budget: the run stops once the committed Look-time
+  /// frontier reaches this value (checked after every activation, so the
+  /// first Look at or past the budget is still committed). <= 0 disables.
+  /// This is the simulation clock, not wall time — the rule is exactly as
+  /// deterministic as the activation budget.
+  double max_time = 0.0;
   /// Extra stop hook, evaluated at the same cadence as the diameter check
   /// (e.g. "a close pair separated" in adversarial benches). Not part of
   /// the JSON-serializable spec; attach it programmatically.

@@ -4,8 +4,12 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <optional>
+#include <stdexcept>
 #include <thread>
+#include <unordered_map>
 
+#include "run/checkpoint.hpp"
 #include "run/instantiate.hpp"
 
 namespace cohesion::run {
@@ -27,14 +31,20 @@ double percentile(const std::vector<double>& sorted, double p) {
   return sorted[rank];
 }
 
-RunOutcome execute(const ExpandedRun& run,
-                   const std::function<double(const RunSpec&, const core::Engine&)>& trace_metric) {
+/// The grid fields every outcome shares, copied from its ExpandedRun.
+RunOutcome outcome_shell(const ExpandedRun& run) {
   RunOutcome out;
   out.index = run.index;
   out.variant = run.variant;
   out.repeat = run.repeat;
   out.label = run.label;
   out.seed = run.spec.seed;
+  return out;
+}
+
+RunOutcome execute(const ExpandedRun& run,
+                   const std::function<double(const RunSpec&, const core::Engine&)>& trace_metric) {
+  RunOutcome out = outcome_shell(run);
   const double t0 = wall_now();
   try {
     RunInstance inst = instantiate(run.spec);
@@ -50,6 +60,38 @@ RunOutcome execute(const ExpandedRun& run,
   return out;
 }
 
+/// The value an EarlyStop rule compares, or nullopt for outcomes that carry
+/// no usable report (skipped repeats, failed runs).
+std::optional<double> early_stop_value(const RunOutcome& o, const std::string& metric) {
+  if (o.skipped || !o.error.empty()) return std::nullopt;
+  if (metric == "final_diameter") return o.report.final_diameter;
+  if (metric == "rounds") return static_cast<double>(o.report.rounds);
+  if (metric == "rounds_to_halve") return static_cast<double>(o.report.rounds_to_halve);
+  if (metric == "activations") return static_cast<double>(o.report.activations);
+  if (metric == "worst_stretch") return o.report.worst_stretch;
+  if (metric == "custom") return o.custom;
+  if (metric == "converged") return o.converged ? 1.0 : 0.0;
+  throw std::runtime_error(
+      "unknown early_stop metric \"" + metric +
+      "\" (known: final_diameter, rounds, rounds_to_halve, activations, worst_stretch, "
+      "custom, converged)");
+}
+
+/// True once the last `window` usable outcomes among `completed_prefix`
+/// agree within epsilon — the prefix is in repeat order, so the decision is
+/// a pure function of the spec (see EarlyStop's determinism contract).
+bool early_stop_fires(const std::vector<const RunOutcome*>& completed_prefix,
+                      const EarlyStop& rule) {
+  std::vector<double> values;
+  for (const RunOutcome* o : completed_prefix) {
+    if (const std::optional<double> v = early_stop_value(*o, rule.metric)) values.push_back(*v);
+  }
+  if (values.size() < rule.window) return false;
+  const auto tail = values.end() - static_cast<std::ptrdiff_t>(rule.window);
+  const auto [lo, hi] = std::minmax_element(tail, values.end());
+  return *hi - *lo <= rule.epsilon;
+}
+
 }  // namespace
 
 Json RunOutcome::to_json() const {
@@ -59,6 +101,10 @@ Json RunOutcome::to_json() const {
   j.set("repeat", repeat);
   j.set("label", label);
   j.set("seed", seed);
+  if (skipped) {
+    j.set("skipped", true);
+    return j;
+  }
   if (!error.empty()) {
     j.set("error", error);
     return j;
@@ -76,12 +122,39 @@ Json RunOutcome::to_json() const {
   return j;
 }
 
+RunOutcome RunOutcome::from_json(const Json& j) {
+  if (!j.is_object()) throw std::runtime_error("RunOutcome must be a JSON object");
+  RunOutcome o;
+  o.index = static_cast<std::size_t>(j.at("index").as_uint());
+  o.variant = static_cast<std::size_t>(j.at("variant").as_uint());
+  o.repeat = static_cast<std::size_t>(j.at("repeat").as_uint());
+  o.label = j.at("label").as_string();
+  o.seed = j.at("seed").as_uint();
+  o.skipped = j.bool_or("skipped", false);
+  if (o.skipped) return o;
+  o.error = j.string_or("error", "");
+  if (!o.error.empty()) return o;
+  o.n = static_cast<std::size_t>(j.at("n").as_uint());
+  o.converged = j.at("converged").as_bool();
+  o.report.converged = o.converged;
+  o.report.cohesive = j.at("cohesive").as_bool();
+  o.report.initial_diameter = j.at("initial_diameter").as_double();
+  o.report.final_diameter = j.at("final_diameter").as_double();
+  o.report.rounds = static_cast<std::size_t>(j.at("rounds").as_uint());
+  o.report.rounds_to_halve = static_cast<std::size_t>(j.at("rounds_to_halve").as_uint());
+  o.report.activations = static_cast<std::size_t>(j.at("activations").as_uint());
+  o.report.worst_stretch = j.at("worst_stretch").as_double();
+  o.custom = j.at("custom").as_double();
+  return o;
+}
+
 Json Aggregate::to_json() const {
   Json j = Json::object();
   j.set("runs", runs);
   j.set("converged", converged);
   j.set("cohesion_failures", cohesion_failures);
   j.set("errors", errors);
+  j.set("skipped", skipped);
   j.set("total_activations", total_activations);
   j.set("mean_rounds", mean_rounds);
   j.set("p50_rounds", p50_rounds);
@@ -99,10 +172,18 @@ Json Aggregate::to_json() const {
 BatchRunner::BatchRunner(Options options) : options_(std::move(options)) {}
 
 BatchResult BatchRunner::run(const ExperimentSpec& experiment) const {
-  return run(experiment.expand());
+  return run(experiment.expand(), experiment.early_stop);
 }
 
 BatchResult BatchRunner::run(const std::vector<ExpandedRun>& runs) const {
+  return run(runs, EarlyStop{});
+}
+
+BatchResult BatchRunner::run(const std::vector<ExpandedRun>& runs,
+                             const EarlyStop& early_stop) const {
+  // Reject an unknown metric before any run (or journal write) happens.
+  if (early_stop.enabled()) (void)early_stop_value(RunOutcome{}, early_stop.metric);
+
   BatchResult result;
   std::size_t threads = options_.threads;
   if (threads == 0) threads = std::max<unsigned>(std::thread::hardware_concurrency(), 1);
@@ -110,18 +191,91 @@ BatchResult BatchRunner::run(const std::vector<ExpandedRun>& runs) const {
   result.threads = threads;
   result.outcomes.resize(runs.size());
 
-  const double t0 = wall_now();
-  // Work-stealing off a shared counter: claim order is racy, but outcome
-  // slots are disjoint and each run is self-seeded, so results do not
-  // depend on the interleaving.
-  std::atomic<std::size_t> next{0};
-  auto worker = [&] {
-    while (true) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= runs.size()) return;
-      result.outcomes[i] = execute(runs[i], options_.trace_metric);
+  // done[i] marks slots whose outcome is already final — preloaded from a
+  // resumed checkpoint. Written only here, before any worker starts.
+  std::vector<char> done(runs.size(), 0);
+  std::unique_ptr<CheckpointJournal> journal;
+  if (!options_.checkpoint_path.empty()) {
+    const std::string fingerprint = runs_fingerprint(runs, early_stop);
+    if (options_.resume) {
+      CheckpointJournal::Loaded loaded;
+      journal = CheckpointJournal::resume(options_.checkpoint_path, fingerprint, runs.size(),
+                                          options_.checkpoint_fsync_every, loaded);
+      std::unordered_map<std::size_t, std::size_t> slot_of;  // global grid index -> slot
+      slot_of.reserve(runs.size());
+      for (std::size_t i = 0; i < runs.size(); ++i) slot_of.emplace(runs[i].index, i);
+      for (RunOutcome& o : loaded.outcomes) {
+        const auto it = slot_of.find(o.index);
+        if (it == slot_of.end()) {
+          throw std::runtime_error("checkpoint " + options_.checkpoint_path +
+                                   ": run index " + std::to_string(o.index) +
+                                   " is not part of this run list");
+        }
+        if (done[it->second]) continue;  // duplicate line; outcomes are deterministic
+        result.outcomes[it->second] = std::move(o);
+        done[it->second] = 1;
+      }
+    } else {
+      journal = CheckpointJournal::create(options_.checkpoint_path, fingerprint, runs.size(),
+                                          options_.checkpoint_fsync_every);
     }
-  };
+  }
+
+  const double t0 = wall_now();
+  std::function<void()> worker;
+  std::atomic<std::size_t> next{0};
+  std::vector<std::vector<std::size_t>> groups;
+  if (!early_stop.enabled()) {
+    // Work-stealing off a shared counter: claim order is racy, but outcome
+    // slots are disjoint and each run is self-seeded, so results do not
+    // depend on the interleaving.
+    worker = [&] {
+      while (true) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= runs.size()) return;
+        if (done[i]) continue;
+        result.outcomes[i] = execute(runs[i], options_.trace_metric);
+        if (journal) journal->append(result.outcomes[i]);
+      }
+    };
+  } else {
+    // Early stopping makes repeat j's fate depend on outcomes 0..j-1 of
+    // its own variant, so a variant's repeats run as one sequential chain
+    // (repeat order = grid order) and workers steal whole variants. The
+    // skip decisions are then a pure function of the spec at any thread
+    // count — the chains are self-contained and outcomes deterministic.
+    std::unordered_map<std::size_t, std::size_t> group_of;  // variant -> groups index
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const auto [it, fresh] = group_of.try_emplace(runs[i].variant, groups.size());
+      if (fresh) groups.emplace_back();
+      groups[it->second].push_back(i);
+    }
+    worker = [&] {
+      while (true) {
+        const std::size_t g = next.fetch_add(1, std::memory_order_relaxed);
+        if (g >= groups.size()) return;
+        std::vector<const RunOutcome*> prefix;
+        bool stop_rest = false;
+        for (const std::size_t slot : groups[g]) {
+          // Once fired the rule stays fired: skipped repeats contribute no
+          // values, so the agreeing window persists.
+          if (!stop_rest && early_stop_fires(prefix, early_stop)) stop_rest = true;
+          if (stop_rest) {
+            if (!done[slot]) {
+              RunOutcome o = outcome_shell(runs[slot]);
+              o.skipped = true;
+              result.outcomes[slot] = std::move(o);
+              if (journal) journal->append(result.outcomes[slot]);
+            }
+          } else if (!done[slot]) {
+            result.outcomes[slot] = execute(runs[slot], options_.trace_metric);
+            if (journal) journal->append(result.outcomes[slot]);
+          }
+          prefix.push_back(&result.outcomes[slot]);
+        }
+      }
+    };
+  }
   if (threads <= 1) {
     worker();
   } else {
@@ -131,6 +285,14 @@ BatchResult BatchRunner::run(const std::vector<ExpandedRun>& runs) const {
     for (std::thread& t : pool) t.join();
   }
   result.wall_seconds = wall_now() - t0;
+  // A journal write failure (disk full, ...) must not kill worker threads
+  // mid-flight — append latches it instead; surface it now that the batch
+  // (and its results) are complete.
+  if (journal && !journal->error().empty()) {
+    throw std::runtime_error("checkpoint journaling failed: " + journal->error() +
+                             " — the journal on disk is incomplete (resuming from it "
+                             "re-runs the missing outcomes)");
+  }
   return result;
 }
 
@@ -139,6 +301,10 @@ Aggregate BatchRunner::aggregate(const std::vector<RunOutcome>& outcomes) {
   a.runs = outcomes.size();
   std::vector<double> rounds_converged;
   for (const RunOutcome& o : outcomes) {
+    if (o.skipped) {
+      ++a.skipped;
+      continue;
+    }
     if (!o.error.empty()) {
       ++a.errors;
       continue;
@@ -157,7 +323,7 @@ Aggregate BatchRunner::aggregate(const std::vector<RunOutcome>& outcomes) {
     a.mean_custom += o.custom;
     a.max_custom = std::max(a.max_custom, o.custom);
   }
-  const double ok = static_cast<double>(a.runs - a.errors);
+  const double ok = static_cast<double>(a.runs - a.errors - a.skipped);
   if (ok > 0.0) {
     a.mean_rounds_to_halve /= ok;
     a.mean_initial_diameter /= ok;
@@ -186,19 +352,19 @@ std::vector<Aggregate> BatchRunner::aggregate_by_variant(const std::vector<RunOu
   return out;
 }
 
-Json BatchRunner::report_json(const ExperimentSpec& experiment, const BatchResult& result,
-                              bool include_timing) {
+Json BatchRunner::report_json_from(const Json& experiment_echo,
+                                   const std::vector<RunOutcome>& outcomes) {
   Json j = Json::object();
-  j.set("experiment", experiment.to_json());
-  j.set("aggregate", aggregate(result.outcomes).to_json());
+  j.set("experiment", experiment_echo);
+  j.set("aggregate", aggregate(outcomes).to_json());
 
-  const std::vector<Aggregate> by_variant = aggregate_by_variant(result.outcomes);
+  const std::vector<Aggregate> by_variant = aggregate_by_variant(outcomes);
   JsonArray variants;
   for (std::size_t v = 0; v < by_variant.size(); ++v) {
     Json entry = Json::object();
     entry.set("variant", v);
     // All repeats of a variant share its label.
-    for (const RunOutcome& o : result.outcomes) {
+    for (const RunOutcome& o : outcomes) {
       if (o.variant == v) {
         entry.set("label", o.label);
         break;
@@ -210,9 +376,14 @@ Json BatchRunner::report_json(const ExperimentSpec& experiment, const BatchResul
   j.set("variants", Json(std::move(variants)));
 
   JsonArray runs;
-  for (const RunOutcome& o : result.outcomes) runs.push_back(o.to_json());
+  for (const RunOutcome& o : outcomes) runs.push_back(o.to_json());
   j.set("runs", Json(std::move(runs)));
+  return j;
+}
 
+Json BatchRunner::report_json(const ExperimentSpec& experiment, const BatchResult& result,
+                              bool include_timing) {
+  Json j = report_json_from(experiment.to_json(), result.outcomes);
   if (include_timing) {
     Json timing = Json::object();
     timing.set("threads", result.threads);

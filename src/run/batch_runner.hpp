@@ -2,14 +2,22 @@
 // axis. Commits inside one run are inherently serial (Async semantics fix
 // a total order of Look times), but runs of a sweep are independent, so
 // BatchRunner fans the expanded grid out over a std::thread worker pool,
-// one isolated Engine per run.
+// one isolated Engine per run. It also owns the batch ops features:
+// outcomes journal to an append-only JSONL checkpoint (run/checkpoint) so
+// a killed batch resumes without re-running or diverging, the run list
+// may be one ExperimentSpec::expand_shard slice for multi-process sweeps
+// (run/shard merges the partial reports back exactly), and an EarlyStop
+// rule elides a variant's remaining repeats once early ones agree.
 //
 // Determinism: a run's behavior depends only on its RunSpec (seeds are
 // derived from grid position at expansion time, before any thread starts),
 // workers claim runs off an atomic counter but write results into the
 // run's own grid slot, and aggregation folds that ordered vector — so the
-// aggregate is bit-identical for any worker count. Wall-clock fields are
-// the one exception and live strictly outside the deterministic report
+// aggregate is bit-identical for any worker count. With early stopping the
+// claim unit becomes a whole variant (its repeats run in order, which the
+// rule needs); resume replays journaled outcomes into their slots before
+// workers start; neither changes any byte of the report. Wall-clock fields
+// are the one exception and live strictly outside the deterministic report
 // (RunOutcome::wall_seconds, BatchResult::wall_seconds; never inside
 // aggregate/report JSON marked deterministic).
 #pragma once
@@ -25,7 +33,8 @@
 namespace cohesion::run {
 
 /// What one run produced. `error` is the exception text when the run
-/// failed to build or execute (other runs are unaffected).
+/// failed to build or execute (other runs are unaffected); `skipped` marks
+/// a repeat the per-variant early-stop rule decided not to execute.
 struct RunOutcome {
   std::size_t index = 0;
   std::size_t variant = 0;
@@ -34,12 +43,18 @@ struct RunOutcome {
   std::uint64_t seed = 0;
   std::size_t n = 0;             ///< actual robot count (factories may adjust)
   bool converged = false;
+  bool skipped = false;          ///< elided by EarlyStop; carries no report
   metrics::ConvergenceReport report;
   double custom = 0.0;           ///< trace-metric hook result (0 if no hook)
   std::string error;
   double wall_seconds = 0.0;     ///< non-deterministic; excluded from reports
 
   [[nodiscard]] Json to_json() const;  ///< deterministic fields only
+  /// Inverse of to_json() for the deterministic fields — the round trip is
+  /// exact (doubles dump as shortest round-trippable decimals), which is
+  /// what lets checkpoints and shard-merged reports reproduce a fresh
+  /// in-process report byte for byte.
+  static RunOutcome from_json(const Json& j);
 };
 
 /// Order-independent folds over a set of outcomes. Percentiles use the
@@ -50,6 +65,7 @@ struct Aggregate {
   std::size_t converged = 0;
   std::size_t cohesion_failures = 0;
   std::size_t errors = 0;
+  std::size_t skipped = 0;  ///< early-stopped repeats; excluded from folds
   std::uint64_t total_activations = 0;
   double mean_rounds = 0.0;
   double p50_rounds = 0.0;
@@ -71,6 +87,11 @@ struct BatchResult {
   std::size_t threads = 0;
 };
 
+/// Executes an expanded grid (or any subset of one, e.g. a shard) over a
+/// worker pool. Deterministic by construction — see the file header —
+/// with optional append-only JSONL checkpointing/resume (Options) and
+/// per-variant early stopping (EarlyStop). Stateless apart from Options;
+/// one instance can run many batches.
 class BatchRunner {
  public:
   struct Options {
@@ -80,16 +101,37 @@ class BatchRunner {
     /// worst-pair-growth scan over the trace). Must be a pure function of
     /// its arguments — it runs on worker threads.
     std::function<double(const RunSpec&, const core::Engine&)> trace_metric;
+    /// When non-empty, journal every completed outcome to this JSONL file
+    /// (format: src/run/checkpoint.hpp). With `resume` false an existing
+    /// file is overwritten; with `resume` true it is validated against the
+    /// run list, its completed grid positions are *not* re-executed, and
+    /// the final BatchResult is identical to an uninterrupted run.
+    /// Caveat: the journal's fingerprint covers the run list and the
+    /// early-stop rule but cannot cover `trace_metric` (an opaque
+    /// std::function) — resume-identity holds only if the hook is the
+    /// same pure function across the original and resumed invocations.
+    /// (The CLI has no hook, so this concerns library callers only.)
+    std::string checkpoint_path;
+    bool resume = false;
+    /// fsync cadence of the journal, in outcomes (1 = every outcome, the
+    /// safest; 0 = only on close). A crash loses at most the outcomes
+    /// since the last fsync — they are simply re-run on resume.
+    std::size_t checkpoint_fsync_every = 1;
   };
 
   BatchRunner() : BatchRunner(Options{}) {}
   explicit BatchRunner(Options options);
 
-  /// Expand and execute a whole experiment.
+  /// Expand and execute a whole experiment (honors experiment.early_stop).
   [[nodiscard]] BatchResult run(const ExperimentSpec& experiment) const;
   /// Execute an explicit run list (for grids too irregular to express as
-  /// sweep axes — the caller labels/indexes the runs).
+  /// sweep axes — the caller labels/indexes the runs), optionally under a
+  /// per-variant early-stop rule. The list may be any subset of a grid
+  /// (e.g. one ExperimentSpec::expand_shard shard); outcomes keep the
+  /// runs' global indices.
   [[nodiscard]] BatchResult run(const std::vector<ExpandedRun>& runs) const;
+  [[nodiscard]] BatchResult run(const std::vector<ExpandedRun>& runs,
+                                const EarlyStop& early_stop) const;
 
   static Aggregate aggregate(const std::vector<RunOutcome>& outcomes);
   /// One aggregate per variant, variant-index order.
@@ -101,6 +143,13 @@ class BatchRunner {
   /// include_timing — diffable across thread counts without it.
   static Json report_json(const ExperimentSpec& experiment, const BatchResult& result,
                           bool include_timing);
+  /// Same report built from an already-serialized experiment echo and a
+  /// bare outcome list (always timing-free). This is the shard-merge path:
+  /// the echo comes from partial reports rather than a live ExperimentSpec,
+  /// and reusing its bytes verbatim is what makes a merged report
+  /// byte-identical to the single-process `--no-timing` report.
+  static Json report_json_from(const Json& experiment_echo,
+                               const std::vector<RunOutcome>& outcomes);
 
  private:
   Options options_;

@@ -69,6 +69,7 @@ Json RunSpec::to_json() const {
   stop_j.set("epsilon", stop.epsilon);
   stop_j.set("max_activations", stop.max_activations);
   stop_j.set("check_every", stop.check_every);
+  stop_j.set("max_time", stop.max_time);
   j.set("stop", stop_j);
   return j;
 }
@@ -95,8 +96,26 @@ RunSpec RunSpec::from_json(const Json& j) {
     s.stop.max_activations =
         static_cast<std::size_t>(st->uint_or("max_activations", s.stop.max_activations));
     s.stop.check_every = static_cast<std::size_t>(st->uint_or("check_every", s.stop.check_every));
+    s.stop.max_time = st->number_or("max_time", s.stop.max_time);
   }
   return s;
+}
+
+Json EarlyStop::to_json() const {
+  Json j = Json::object();
+  j.set("window", window);
+  j.set("epsilon", epsilon);
+  j.set("metric", metric);
+  return j;
+}
+
+EarlyStop EarlyStop::from_json(const Json& j) {
+  if (!j.is_object()) throw std::runtime_error("early_stop must be a JSON object");
+  EarlyStop e;
+  e.window = static_cast<std::size_t>(j.uint_or("window", e.window));
+  e.epsilon = j.number_or("epsilon", e.epsilon);
+  e.metric = j.string_or("metric", e.metric);
+  return e;
 }
 
 void apply_override(Json& doc, const std::string& path, const Json& value) {
@@ -204,11 +223,28 @@ std::vector<ExpandedRun> ExperimentSpec::expand() const {
   return out;
 }
 
+std::vector<ExpandedRun> ExperimentSpec::expand_shard(std::size_t shard_index,
+                                                      std::size_t shard_count) const {
+  if (shard_count == 0) throw std::runtime_error("shard count must be >= 1");
+  if (shard_index >= shard_count) {
+    throw std::runtime_error("shard index " + std::to_string(shard_index) +
+                             " out of range for " + std::to_string(shard_count) + " shards");
+  }
+  std::vector<ExpandedRun> all = expand();
+  std::vector<ExpandedRun> out;
+  out.reserve(all.size() / shard_count + 1);
+  for (ExpandedRun& run : all) {
+    if (run.variant % shard_count == shard_index) out.push_back(std::move(run));
+  }
+  return out;
+}
+
 Json ExperimentSpec::to_json() const {
   Json j = Json::object();
   j.set("name", name);
   j.set("base", base.to_json());
   j.set("repeats", repeats);
+  if (early_stop.enabled()) j.set("early_stop", early_stop.to_json());
   if (!axes.empty()) {
     JsonArray arr;
     for (const SweepAxis& axis : axes) {
@@ -228,6 +264,7 @@ ExperimentSpec ExperimentSpec::from_json(const Json& j) {
   e.name = j.string_or("name", e.name);
   e.base = RunSpec::from_json(j.at("base"));
   e.repeats = static_cast<std::size_t>(j.uint_or("repeats", e.repeats));
+  if (const Json* es = j.find("early_stop")) e.early_stop = EarlyStop::from_json(*es);
   if (const Json* sweep = j.find("sweep")) {
     for (const Json& a : sweep->items()) {
       SweepAxis axis;

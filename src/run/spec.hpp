@@ -97,15 +97,58 @@ struct ExpandedRun {
   std::string label;        ///< human-readable grid-point description
 };
 
+/// Per-variant early stopping: once `window` consecutive completed repeats
+/// of a variant agree on `metric` to within `epsilon` (max - min over the
+/// window), the variant's remaining repeats are skipped.
+///
+/// Determinism contract: the rule is evaluated over a variant's own
+/// outcomes in repeat order only, and each outcome is a pure function of
+/// its RunSpec — so which repeats are skipped is a pure function of the
+/// spec, never of thread count or completion order. BatchRunner enforces
+/// the order by running a variant's repeats sequentially (different
+/// variants still run in parallel) whenever the rule is enabled.
+struct EarlyStop {
+  std::size_t window = 0;  ///< agreeing-outcome count needed; 0 disables
+  double epsilon = 0.0;    ///< max-min tolerance over the window
+  /// Outcome field compared: "final_diameter" (default), "rounds",
+  /// "rounds_to_halve", "activations", "worst_stretch", "custom" or
+  /// "converged" (0/1). Unknown names throw before any run starts.
+  std::string metric = "final_diameter";
+
+  [[nodiscard]] bool enabled() const { return window > 0; }
+
+  [[nodiscard]] Json to_json() const;
+  static EarlyStop from_json(const Json& j);
+};
+
+/// A whole sweep as one JSON artifact: a base RunSpec, a cartesian grid
+/// of parameter overrides (`axes`), a repeat count, and an optional
+/// per-variant early-stop rule. `expand()` is the single source of truth
+/// for grid order and seed derivation; `expand_shard()` is its
+/// deterministic partition for multi-process execution.
 struct ExperimentSpec {
   std::string name = "experiment";
   RunSpec base;
   std::size_t repeats = 1;  ///< runs per grid point (distinct derived seeds)
   std::vector<SweepAxis> axes;
+  EarlyStop early_stop;     ///< per-variant early stopping (default: off)
 
   /// Expand to the full run list: cartesian product of the axes (first axis
   /// outermost) times `repeats`, in document order. Deterministic.
   [[nodiscard]] std::vector<ExpandedRun> expand() const;
+
+  /// Shard view of the grid for multi-process sweeps: the subset of
+  /// expand() whose runs satisfy `variant % shard_count == shard_index`
+  /// (round-robin over variants, not contiguous chunks, so every shard
+  /// samples the whole sweep). Each run keeps its *global* grid index and
+  /// therefore its derived seeds — the union over all shards is exactly
+  /// expand(), which is what makes shard-merged reports bit-identical to a
+  /// single-process run. Partitioning whole variants (rather than striding
+  /// raw run indices) keeps every variant's repeat sequence inside one
+  /// shard, so per-variant early stopping sees the full prefix it needs.
+  /// Throws when shard_index >= shard_count or shard_count == 0.
+  [[nodiscard]] std::vector<ExpandedRun> expand_shard(std::size_t shard_index,
+                                                      std::size_t shard_count) const;
   [[nodiscard]] std::size_t variant_count() const;
 
   [[nodiscard]] Json to_json() const;

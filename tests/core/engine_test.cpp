@@ -173,6 +173,31 @@ TEST(Engine, RunUntilConvergedStopsEarly) {
   EXPECT_LE(engine.current_diameter(), 1e-3);
 }
 
+TEST(Engine, RunUntilHonorsSimulatedTimeBudget) {
+  // FSync commits one round per unit time: Looks at t = 0..5 are under a
+  // 5.5 budget; the first Look of round t = 6 crosses it and — per the
+  // documented post-commit check — is itself still committed. The budget
+  // is simulation time, deterministic, unlike a wall-clock limit.
+  const algo::NullAlgorithm null;
+  sched::FSyncScheduler sched(3);
+  Engine engine({{0.0, 0.0}, {0.5, 0.0}, {1.0, 0.0}}, null, sched, exact_config());
+  StopCondition stop;
+  stop.epsilon = -1.0;  // never converges; only the time budget can stop it
+  stop.max_activations = 200000;
+  stop.max_time = 5.5;
+  EXPECT_FALSE(engine.run_until(stop));
+  EXPECT_EQ(engine.trace().records().size(), 6u * 3u + 1u);
+
+  // max_time = 0 disables the budget: the activation budget rules.
+  sched::FSyncScheduler sched2(3);
+  Engine engine2({{0.0, 0.0}, {0.5, 0.0}, {1.0, 0.0}}, null, sched2, exact_config());
+  StopCondition unlimited;
+  unlimited.epsilon = -1.0;
+  unlimited.max_activations = 30;
+  EXPECT_FALSE(engine2.run_until(unlimited));
+  EXPECT_EQ(engine2.trace().records().size(), 30u);
+}
+
 TEST(Engine, MultiplicityCollapsedWithoutDetection) {
   // Two robots co-located: observer perceives a single robot.
   const ChaseFirst chase;

@@ -105,6 +105,62 @@ TEST(BatchRunner, ARunFailureIsCapturedNotFatal) {
   EXPECT_EQ(a.converged, 1u);
 }
 
+/// Early stopping under a rule every repeat satisfies trivially: the first
+/// `window` repeats of each variant run, the rest are skipped.
+TEST(BatchRunner, EarlyStopSkipsRemainingRepeatsAndStaysDeterministic) {
+  ExperimentSpec e = small_sweep();
+  e.repeats = 6;
+  e.early_stop.window = 2;
+  e.early_stop.epsilon = 1.0;  // generous: converged diameters all agree within this
+  e.early_stop.metric = "converged";
+
+  BatchRunner::Options one;
+  one.threads = 1;
+  BatchRunner::Options eight;
+  eight.threads = 8;
+  const BatchResult r1 = BatchRunner(one).run(e);
+  const BatchResult r8 = BatchRunner(eight).run(e);
+
+  ASSERT_EQ(r1.outcomes.size(), 12u);
+  // Which repeats are skipped is a pure function of the spec — identical
+  // at 1 and 8 worker threads, down to the report bytes.
+  EXPECT_EQ(BatchRunner::report_json(e, r1, false).dump(2),
+            BatchRunner::report_json(e, r8, false).dump(2));
+  for (const RunOutcome& o : r1.outcomes) {
+    EXPECT_EQ(o.skipped, o.repeat >= 2) << "variant " << o.variant << " repeat " << o.repeat;
+  }
+  const Aggregate a = BatchRunner::aggregate(r1.outcomes);
+  EXPECT_EQ(a.runs, 12u);
+  EXPECT_EQ(a.skipped, 8u);
+  EXPECT_EQ(a.converged, 4u);  // folds cover only the executed repeats
+  const auto by_variant = BatchRunner::aggregate_by_variant(r1.outcomes);
+  ASSERT_EQ(by_variant.size(), 2u);
+  EXPECT_EQ(by_variant[0].skipped, 4u);
+}
+
+TEST(BatchRunner, EarlyStopWindowNeverFillingSkipsNothing) {
+  ExperimentSpec plain = small_sweep();
+  ExperimentSpec gated = small_sweep();
+  gated.early_stop.window = 5;      // > repeats (4): can never fire
+  gated.early_stop.epsilon = -1.0;  // and even the spread test is unsatisfiable
+  const BatchResult rp = BatchRunner().run(plain);
+  const BatchResult rg = BatchRunner().run(gated);
+  for (const RunOutcome& o : rg.outcomes) EXPECT_FALSE(o.skipped);
+  // The sequential per-variant path must execute the identical outcomes
+  // the flat work-stealing path does.
+  ASSERT_EQ(rp.outcomes.size(), rg.outcomes.size());
+  for (std::size_t i = 0; i < rp.outcomes.size(); ++i) {
+    EXPECT_EQ(rp.outcomes[i].to_json().dump(), rg.outcomes[i].to_json().dump()) << i;
+  }
+}
+
+TEST(BatchRunner, EarlyStopUnknownMetricThrowsBeforeRunning) {
+  ExperimentSpec e = small_sweep();
+  e.early_stop.window = 2;
+  e.early_stop.metric = "definitely_not_a_metric";
+  EXPECT_THROW((void)BatchRunner().run(e), std::runtime_error);
+}
+
 TEST(Instantiate, BuildsEverySlotFromTheSpec) {
   RunSpec spec;
   spec.n = 6;

@@ -24,6 +24,7 @@ RunSpec sample_spec() {
   s.stop.epsilon = 0.08;
   s.stop.max_activations = 1234;
   s.stop.check_every = 32;
+  s.stop.max_time = 75.5;
   return s;
 }
 
@@ -36,6 +37,7 @@ TEST(RunSpec, JsonRoundTripIsExact) {
   EXPECT_EQ(Json::parse(j.dump(2)).dump(), j.dump());
   EXPECT_EQ(back.seed, s.seed);  // 64-bit seed survives
   EXPECT_EQ(back.stop.max_activations, 1234u);
+  EXPECT_DOUBLE_EQ(back.stop.max_time, 75.5);
   EXPECT_TRUE(back.open_ball);
   EXPECT_FALSE(back.use_spatial_index);
   EXPECT_FALSE(back.incremental_index);
@@ -71,6 +73,33 @@ TEST(ExperimentSpec, JsonRoundTrip) {
   ASSERT_EQ(back.axes.size(), 2u);
   EXPECT_EQ(back.axes[0].path, "scheduler.params.k");
   EXPECT_EQ(back.axes[1].values.size(), 2u);
+  // A disabled early-stop rule is absent from the JSON and stays disabled.
+  EXPECT_FALSE(j.contains("early_stop"));
+  EXPECT_FALSE(back.early_stop.enabled());
+}
+
+TEST(ExperimentSpec, EarlyStopRoundTripsExactly) {
+  ExperimentSpec e;
+  e.base = sample_spec();
+  e.repeats = 8;
+  e.early_stop.window = 3;
+  e.early_stop.epsilon = 0.015;
+  e.early_stop.metric = "rounds";
+  const Json j = e.to_json();
+  ASSERT_TRUE(j.contains("early_stop"));
+  const ExperimentSpec back = ExperimentSpec::from_json(j);
+  EXPECT_EQ(back.to_json().dump(), j.dump());  // fixed point (shard merge relies on it)
+  EXPECT_EQ(back.early_stop.window, 3u);
+  EXPECT_DOUBLE_EQ(back.early_stop.epsilon, 0.015);
+  EXPECT_EQ(back.early_stop.metric, "rounds");
+  // Partial early_stop objects take defaults for the rest.
+  const ExperimentSpec partial = ExperimentSpec::from_json(
+      Json::parse(R"({"base": {"n": 4}, "early_stop": {"window": 2}})"));
+  EXPECT_EQ(partial.early_stop.window, 2u);
+  EXPECT_EQ(partial.early_stop.metric, "final_diameter");
+  EXPECT_THROW(ExperimentSpec::from_json(
+                   Json::parse(R"({"base": {"n": 4}, "early_stop": 3})")),
+               std::runtime_error);
 }
 
 TEST(ExperimentSpec, ExpansionGridOrderAndOverrides) {

@@ -6,9 +6,16 @@
 #     docs/architecture.md  (as "src/<subsystem>");
 #   * every bench/bench_*.cpp must be mentioned by filename in
 #     docs/benchmarks.md;
+#   * every tools/*.cpp CLI tool must be mentioned by name in README.md
+#     and in docs/operations.md (the ops runbook covers every binary an
+#     operator can invoke);
+#   * the operator-facing cohesion_run/cohesion_merge flags and the
+#     spec-level batch fields must be documented where they belong
+#     (docs/operations.md for the run/ops flags, docs/experiments.md for
+#     spec schema fields) — greps below, extend when adding flags;
 #   * the core documentation set (README.md, docs/architecture.md,
-#     docs/benchmarks.md, docs/experiments.md) must exist and README.md
-#     must link every docs/ file.
+#     docs/benchmarks.md, docs/experiments.md, docs/operations.md) must
+#     exist and README.md must link every docs/ file.
 #
 # Run from anywhere; wired into bench/run_benches.sh and registered as the
 # `docs_check` ctest test so CI fails on rot.
@@ -21,7 +28,8 @@ complain() {
   fail=1
 }
 
-for doc in README.md docs/architecture.md docs/benchmarks.md docs/experiments.md; do
+for doc in README.md docs/architecture.md docs/benchmarks.md docs/experiments.md \
+           docs/operations.md; do
   [ -f "$doc" ] || complain "missing $doc"
 done
 [ "$fail" = 0 ] || exit 1
@@ -38,6 +46,32 @@ for bench in bench/bench_*.cpp; do
     complain "docs/benchmarks.md does not mention $name"
 done
 
+for tool in tools/*.cpp; do
+  name=$(basename "$tool" .cpp)
+  grep -q "$name" README.md ||
+    complain "README.md does not mention tool $name"
+  grep -q "$name" docs/operations.md ||
+    complain "docs/operations.md does not mention tool $name"
+done
+
+# Operator-facing CLI flags: documented in the runbook.
+for flag in --shard --checkpoint --resume --fsync-every --threads --out --no-timing; do
+  grep -q -- "$flag" docs/operations.md ||
+    complain "docs/operations.md does not document cohesion_run $flag"
+done
+
+# Spec-level schema fields: documented with the rest of the spec schema.
+for field in early_stop max_time incremental_index use_spatial_index; do
+  grep -q "$field" docs/experiments.md ||
+    complain "docs/experiments.md does not document spec field $field"
+done
+
+# The run/ops determinism contracts live in the architecture doc.
+for phrase in shard-union resume; do
+  grep -qi "$phrase" docs/architecture.md ||
+    complain "docs/architecture.md does not state the $phrase determinism contract"
+done
+
 for doc in docs/*.md; do
   name=$(basename "$doc")
   grep -q "$name" README.md ||
@@ -45,6 +79,6 @@ for doc in docs/*.md; do
 done
 
 if [ "$fail" = 0 ]; then
-  echo "check_docs: OK (src subsystems, bench files and doc links all covered)"
+  echo "check_docs: OK (src subsystems, bench files, tools, CLI flags, spec fields and doc links all covered)"
 fi
 exit "$fail"

@@ -1,0 +1,73 @@
+// cohesion_merge — combine the partial reports of a sharded sweep
+// (`cohesion_run sweep.json --shard i/N`) into the exact report a single
+// process would have produced: byte-identical to
+// `cohesion_run sweep.json --no-timing` (asserted in bench/run_benches.sh
+// and tests/run/shard_test.cpp).
+//
+//   cohesion_merge p0.json p1.json p2.json            # merged report, stdout
+//   cohesion_merge p*.json --out report.json          # ... to a file
+//
+// Input order does not matter; every shard of the sweep must be present
+// exactly once and the partials must come from the same spec file — merge
+// refuses anything else with an error naming the missing/conflicting
+// shard. Runbook: docs/operations.md. Exit code: 0 on success, 1 on
+// invalid/incomplete partials, 2 on bad usage.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "run/shard.hpp"
+
+using namespace cohesion;
+
+namespace {
+
+int usage(int code) {
+  std::cout << "usage: cohesion_merge <partial1.json> <partial2.json> ... [--out FILE]\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> inputs;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return usage(0);
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (!arg.starts_with("--")) {
+      inputs.push_back(arg);
+    } else {
+      std::cerr << "bad argument: " << arg << "\n";
+      return usage(2);
+    }
+  }
+  if (inputs.empty()) return usage(2);
+
+  try {
+    std::vector<run::Json> partials;
+    partials.reserve(inputs.size());
+    for (const std::string& path : inputs) partials.push_back(run::Json::parse_file(path));
+    const run::Json report = run::merge_partial_reports(partials);
+
+    if (out_path.empty()) {
+      std::cout << report.dump(2) << '\n';
+    } else {
+      std::ofstream out(out_path);
+      if (!out) {
+        std::cerr << "cannot write " << out_path << "\n";
+        return 1;
+      }
+      out << report.dump(2) << '\n';
+      std::cerr << "merged report written: " << out_path << " (" << inputs.size()
+                << " partials)\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "cohesion_merge: " << e.what() << "\n";
+    return 1;
+  }
+}

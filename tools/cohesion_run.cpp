@@ -1,5 +1,8 @@
 // cohesion_run — declarative batch driver: load an experiment spec (JSON),
-// fan it out over a worker pool, emit an aggregated report.
+// fan it out over a worker pool, emit an aggregated report. With --shard it
+// executes one deterministic slice of the grid for multi-process sweeps;
+// with --checkpoint/--resume it journals outcomes so a killed batch
+// continues where it left off (see docs/operations.md for the runbook).
 //
 //   cohesion_run sweep.json                        # run, report to stdout
 //   cohesion_run sweep.json --threads 8            # parallel across runs
@@ -7,18 +10,28 @@
 //   cohesion_run sweep.json --no-timing            # deterministic output
 //                                                  # (diffable across thread
 //                                                  #  counts)
+//   cohesion_run sweep.json --shard 0/3 --out p0.json
+//                                                  # one shard; partial
+//                                                  # report for cohesion_merge
+//   cohesion_run sweep.json --checkpoint run.ckpt  # journal outcomes (JSONL)
+//   cohesion_run sweep.json --resume run.ckpt      # skip completed runs
+//   cohesion_run sweep.json --fsync-every 16       # journal fsync cadence
 //   cohesion_run --list                            # registry keys
 //
 // The spec is either a full ExperimentSpec ({"base": {...}, "sweep": [...],
 // "repeats": N}) or a bare RunSpec object, which runs once. Spec schema and
-// seed-derivation rules: docs/experiments.md. Exit code: 0 when every run
-// executed without error, 1 otherwise.
+// seed-derivation rules: docs/experiments.md; sharding/resume contracts and
+// file formats: docs/operations.md. Exit code: 0 when every run executed
+// without error, 1 otherwise (including stale/corrupt checkpoints), 2 on
+// bad usage.
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <string>
 
 #include "run/batch_runner.hpp"
 #include "run/registry.hpp"
+#include "run/shard.hpp"
 
 using namespace cohesion;
 
@@ -39,6 +52,8 @@ int list_registries() {
 
 int usage(int code) {
   std::cout << "usage: cohesion_run <spec.json> [--threads N] [--out FILE] [--no-timing]\n"
+               "                    [--shard I/N] [--checkpoint FILE | --resume FILE]\n"
+               "                    [--fsync-every N]\n"
                "       cohesion_run --list\n";
   return code;
 }
@@ -48,7 +63,9 @@ int usage(int code) {
 int main(int argc, char** argv) {
   std::string spec_path;
   std::string out_path;
-  std::size_t threads = 1;
+  std::string shard_arg;
+  run::BatchRunner::Options options;
+  options.threads = 1;
   bool timing = true;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -58,11 +75,38 @@ int main(int argc, char** argv) {
       timing = false;
     } else if (arg == "--threads" && i + 1 < argc) {
       try {
-        threads = static_cast<std::size_t>(std::stoul(argv[++i]));
+        options.threads = static_cast<std::size_t>(std::stoul(argv[++i]));
       } catch (const std::exception&) {
         std::cerr << "bad --threads value: " << argv[i] << "\n";
         return usage(2);
       }
+    } else if (arg == "--fsync-every" && i + 1 < argc) {
+      try {
+        options.checkpoint_fsync_every = static_cast<std::size_t>(std::stoul(argv[++i]));
+      } catch (const std::exception&) {
+        std::cerr << "bad --fsync-every value: " << argv[i] << "\n";
+        return usage(2);
+      }
+    } else if (arg == "--shard" && i + 1 < argc) {
+      shard_arg = argv[++i];
+    } else if (arg == "--checkpoint" && i + 1 < argc) {
+      if (!options.checkpoint_path.empty()) {
+        // Mutually exclusive: --checkpoint would O_TRUNC the very journal
+        // --resume is trying to continue from.
+        std::cerr << "--checkpoint and --resume cannot be combined (--resume already "
+                     "journals to its file)\n";
+        return usage(2);
+      }
+      options.checkpoint_path = argv[++i];
+      options.resume = false;
+    } else if (arg == "--resume" && i + 1 < argc) {
+      if (!options.checkpoint_path.empty()) {
+        std::cerr << "--checkpoint and --resume cannot be combined (--resume already "
+                     "journals to its file)\n";
+        return usage(2);
+      }
+      options.checkpoint_path = argv[++i];
+      options.resume = true;
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (spec_path.empty() && !arg.starts_with("--")) {
@@ -85,10 +129,25 @@ int main(int argc, char** argv) {
       experiment.name = experiment.base.name;
     }
 
-    run::BatchRunner::Options options;
-    options.threads = threads;
-    const run::BatchResult result = run::BatchRunner(options).run(experiment);
-    const run::Json report = run::BatchRunner::report_json(experiment, result, timing);
+    run::Shard shard;
+    std::vector<run::ExpandedRun> runs;
+    // Grid size without expanding: variants x repeats (expand()'s shape).
+    const std::size_t total_runs =
+        experiment.variant_count() * std::max<std::size_t>(experiment.repeats, 1);
+    if (shard_arg.empty()) {
+      runs = experiment.expand();
+    } else {
+      shard = run::Shard::parse(shard_arg);
+      runs = experiment.expand_shard(shard.index, shard.count);
+    }
+
+    const run::BatchResult result = run::BatchRunner(options).run(runs, experiment.early_stop);
+    // A shard emits a partial report — always deterministic (no timing
+    // block; wall numbers go to stderr) so partials diff across machines.
+    const run::Json report =
+        shard_arg.empty()
+            ? run::BatchRunner::report_json(experiment, result, timing)
+            : run::partial_report_json(experiment, shard, total_runs, result.outcomes);
 
     if (out_path.empty()) {
       std::cout << report.dump(2) << '\n';
