@@ -8,7 +8,11 @@
 # second stage re-runs the same sweep as 3 cohesion_run --shard processes
 # plus cohesion_merge and as a truncated-checkpoint --resume, byte-compares
 # both against the single-process report (the shard-union and resume
-# determinism contracts), and records the walls under shard_sweep.
+# determinism contracts), and records the walls under shard_sweep. A third
+# stage runs the sweep under cohesion_launch with an injected kill/stall/
+# corrupt fault schedule and byte-compares the supervised report against
+# the fresh run (the fault-tolerance contract), recording the wall under
+# fault_sweep.
 #
 # Usage: bench/run_benches.sh [BUILD_DIR] [OUT_DIR]
 #   BUILD_DIR  cmake build tree containing the bench_* executables (default: build)
@@ -144,6 +148,51 @@ else
   echo "cohesion_run/cohesion_merge or bench/specs/kasync_sweep.json missing; skipping shard sweep" >&2
 fi
 
+# Fault-injected supervised sweep through cohesion_launch: the same spec
+# under a full crash schedule — SIGKILL one shard mid-journal, SIGSTOP
+# another until its lease expires, kill + corrupt a third's journal tail —
+# must still produce a report byte-identical to the fresh single-process
+# one (the supervised fault-tolerance contract of docs/operations.md).
+# The wall number lands under fault_sweep.
+FAULT_JSON="$OUT_DIR/fault_sweep_timing.json"
+rm -f "$FAULT_JSON"
+if [ -x "$BUILD_DIR/cohesion_launch" ] && [ -x "$BUILD_DIR/cohesion_run" ] \
+   && [ -f bench/specs/kasync_sweep.json ]; then
+  echo "== fault-injected supervised sweep (kill + stall + corrupt, 3 shards)"
+  "$BUILD_DIR/cohesion_run" bench/specs/kasync_sweep.json --no-timing \
+      --out "$OUT_DIR/fault_fresh.json" 2> /dev/null
+  rm -rf "$OUT_DIR/fault_work"
+  t_fault=$( { time "$BUILD_DIR/cohesion_launch" bench/specs/kasync_sweep.json \
+      --shards 3 --work-dir "$OUT_DIR/fault_work" --out "$OUT_DIR/fault_supervised.json" \
+      --throttle-ms 20 --lease-timeout 2 --poll-interval 0.02 --backoff-base 0.05 \
+      --fault kill:shard=1,after=2 --fault stall:shard=0,after=1 \
+      --fault corrupt:shard=2,after=1 --quiet 2> /dev/null; } 2>&1 \
+      | sed -n 's/^real[[:space:]]*//p' )
+  if ! cmp -s "$OUT_DIR/fault_fresh.json" "$OUT_DIR/fault_supervised.json"; then
+    echo "ERROR: supervised report under injected faults differs from the fresh run" >&2
+    exit 1
+  fi
+  echo "   fault tolerance: supervised report byte-identical under kill/stall/corrupt"
+  rm -rf "$OUT_DIR/fault_work"
+  python3 - "$FAULT_JSON" "$t_fault" <<'EOF'
+import json, sys
+
+def seconds(real):  # "0m1.234s" -> 1.234
+    m, s = real.rstrip("s").split("m")
+    return int(m) * 60 + float(s)
+
+target, t_fault = sys.argv[1:3]
+json.dump({
+    "spec": "bench/specs/kasync_sweep.json",
+    "shards": 3,
+    "faults": ["kill:shard=1,after=2", "stall:shard=0,after=1", "corrupt:shard=2,after=1"],
+    "wall_seconds_supervised_faulted": round(seconds(t_fault), 3),
+}, open(target, "w"))
+EOF
+else
+  echo "cohesion_launch or bench/specs/kasync_sweep.json missing; skipping fault sweep" >&2
+fi
+
 # Distill activations/sec per swarm size from the engine benches into one
 # trajectory file: {bench -> {benchmark_name -> items_per_second}}, plus the
 # declarative-sweep wall-clock scaling when it ran.
@@ -175,6 +224,11 @@ if shard.exists():
     summary["shard_sweep"] = json.loads(shard.read_text())
     summary["context"] += "; shard_sweep: 1 process vs 3 shards + merge (byte-compared)"
     shard.unlink()
+fault = out_dir / "fault_sweep_timing.json"
+if fault.exists():
+    summary["fault_sweep"] = json.loads(fault.read_text())
+    summary["context"] += "; fault_sweep: supervised kill/stall/corrupt schedule (byte-compared)"
+    fault.unlink()
 target = out_dir / "BENCH_engine.json"
 target.write_text(json.dumps(summary, indent=2) + "\n")
 print(f"wrote {target}")
@@ -189,4 +243,8 @@ if "shard_sweep" in summary:
     s = summary["shard_sweep"]
     print(f"  shard sweep: {s['wall_seconds_single']}s single vs "
           f"{s['wall_seconds_3_shards_serial']}s as {s['shards']} serial shards")
+if "fault_sweep" in summary:
+    f = summary["fault_sweep"]
+    print(f"  fault sweep: {f['wall_seconds_supervised_faulted']}s supervised under "
+          f"{len(f['faults'])} injected faults ({f['shards']} shards)")
 EOF

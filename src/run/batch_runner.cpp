@@ -10,6 +10,7 @@
 #include <unordered_map>
 
 #include "run/checkpoint.hpp"
+#include "run/exit_codes.hpp"
 #include "run/instantiate.hpp"
 
 namespace cohesion::run {
@@ -222,6 +223,18 @@ BatchResult BatchRunner::run(const std::vector<ExpandedRun>& runs,
   }
 
   const double t0 = wall_now();
+  // Cooperative cancellation: checked between runs only, so a set flag
+  // never tears an in-flight outcome (or its journal line) — it just stops
+  // further claims. done[i] doubles as the "slot i holds a real outcome"
+  // marker an interrupted batch compacts by.
+  const auto cancelled = [&] {
+    return options_.cancel != nullptr && options_.cancel->load(std::memory_order_relaxed);
+  };
+  const auto throttle = [&] {
+    if (options_.post_run_delay_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(options_.post_run_delay_ms));
+    }
+  };
   std::function<void()> worker;
   std::atomic<std::size_t> next{0};
   std::vector<std::vector<std::size_t>> groups;
@@ -230,12 +243,14 @@ BatchResult BatchRunner::run(const std::vector<ExpandedRun>& runs,
     // slots are disjoint and each run is self-seeded, so results do not
     // depend on the interleaving.
     worker = [&] {
-      while (true) {
+      while (!cancelled()) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= runs.size()) return;
         if (done[i]) continue;
         result.outcomes[i] = execute(runs[i], options_.trace_metric);
+        done[i] = 1;
         if (journal) journal->append(result.outcomes[i]);
+        throttle();
       }
     };
   } else {
@@ -251,12 +266,15 @@ BatchResult BatchRunner::run(const std::vector<ExpandedRun>& runs,
       groups[it->second].push_back(i);
     }
     worker = [&] {
-      while (true) {
+      while (!cancelled()) {
         const std::size_t g = next.fetch_add(1, std::memory_order_relaxed);
         if (g >= groups.size()) return;
         std::vector<const RunOutcome*> prefix;
         bool stop_rest = false;
         for (const std::size_t slot : groups[g]) {
+          // Stopping mid-chain is safe: a resume reloads the journaled
+          // prefix and recomputes the (deterministic) skip decisions.
+          if (cancelled()) return;
           // Once fired the rule stays fired: skipped repeats contribute no
           // values, so the agreeing window persists.
           if (!stop_rest && early_stop_fires(prefix, early_stop)) stop_rest = true;
@@ -265,11 +283,14 @@ BatchResult BatchRunner::run(const std::vector<ExpandedRun>& runs,
               RunOutcome o = outcome_shell(runs[slot]);
               o.skipped = true;
               result.outcomes[slot] = std::move(o);
+              done[slot] = 1;
               if (journal) journal->append(result.outcomes[slot]);
             }
           } else if (!done[slot]) {
             result.outcomes[slot] = execute(runs[slot], options_.trace_metric);
+            done[slot] = 1;
             if (journal) journal->append(result.outcomes[slot]);
+            throttle();
           }
           prefix.push_back(&result.outcomes[slot]);
         }
@@ -285,13 +306,23 @@ BatchResult BatchRunner::run(const std::vector<ExpandedRun>& runs,
     for (std::thread& t : pool) t.join();
   }
   result.wall_seconds = wall_now() - t0;
+  if (cancelled()) {
+    result.interrupted = true;
+    std::vector<RunOutcome> finished;
+    finished.reserve(runs.size());
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      if (done[i]) finished.push_back(std::move(result.outcomes[i]));
+    }
+    result.outcomes = std::move(finished);
+  }
   // A journal write failure (disk full, ...) must not kill worker threads
   // mid-flight — append latches it instead; surface it now that the batch
-  // (and its results) are complete.
+  // (and its results) are complete. Transient: the batch's results are
+  // correct, only the journal on disk is short.
   if (journal && !journal->error().empty()) {
-    throw std::runtime_error("checkpoint journaling failed: " + journal->error() +
-                             " — the journal on disk is incomplete (resuming from it "
-                             "re-runs the missing outcomes)");
+    throw TransientError("checkpoint journaling failed: " + journal->error() +
+                         " — the journal on disk is incomplete (resuming from it "
+                         "re-runs the missing outcomes)");
   }
   return result;
 }

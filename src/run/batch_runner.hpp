@@ -22,6 +22,7 @@
 // aggregate/report JSON marked deterministic).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -85,6 +86,11 @@ struct BatchResult {
   std::vector<RunOutcome> outcomes;  ///< grid order (index-ascending)
   double wall_seconds = 0.0;
   std::size_t threads = 0;
+  /// True when Options::cancel stopped the batch early. `outcomes` then
+  /// holds only the runs that finished (still index-ascending) — an
+  /// incomplete set that must not be reported as a full batch; the journal,
+  /// if any, is flushed and resumable.
+  bool interrupted = false;
 };
 
 /// Executes an expanded grid (or any subset of one, e.g. a shard) over a
@@ -117,6 +123,16 @@ class BatchRunner {
     /// safest; 0 = only on close). A crash loses at most the outcomes
     /// since the last fsync — they are simply re-run on resume.
     std::size_t checkpoint_fsync_every = 1;
+    /// Cooperative cancellation (how the CLI implements graceful
+    /// SIGTERM/SIGINT): when the pointee becomes true, workers finish the
+    /// run in hand, stop claiming new ones, and run() returns with
+    /// BatchResult::interrupted set. Never aborts a run mid-flight, so
+    /// every journaled line stays a complete outcome.
+    const std::atomic<bool>* cancel = nullptr;
+    /// Sleep this long after every executed run — a pacing knob for the
+    /// fault-injection harness (gives a supervisor's journal poller a
+    /// stable line cadence to trigger on). 0 (the default) for real runs.
+    std::size_t post_run_delay_ms = 0;
   };
 
   BatchRunner() : BatchRunner(Options{}) {}

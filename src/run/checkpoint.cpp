@@ -9,6 +9,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "run/exit_codes.hpp"
+
 namespace cohesion::run {
 
 namespace {
@@ -37,13 +39,22 @@ std::string header_line(const std::string& fingerprint, std::size_t total_runs) 
   return h.dump() + "\n";
 }
 
+// Failures of the *input* (not a checkpoint, wrong fingerprint, corrupt
+// body) are permanent: the same invocation fails the same way forever.
 [[noreturn]] void fail(const std::string& path, const std::string& what) {
   throw std::runtime_error("checkpoint " + path + ": " + what);
 }
 
+// Failures of the *environment* (open/write/truncate) are transient: a
+// retry — possibly on another disk or after an operator fixes quota — can
+// succeed, so supervisors may spend retry budget on them.
+[[noreturn]] void fail_io(const std::string& path, const std::string& what) {
+  throw TransientError("checkpoint " + path + ": " + what);
+}
+
 int open_or_throw(const std::string& path, int flags) {
   const int fd = ::open(path.c_str(), flags, 0644);
-  if (fd < 0) fail(path, std::string("cannot open (") + std::strerror(errno) + ")");
+  if (fd < 0) fail_io(path, std::string("cannot open (") + std::strerror(errno) + ")");
   return fd;
 }
 
@@ -53,7 +64,7 @@ void write_all(int fd, const std::string& path, std::string_view data) {
     const ::ssize_t w = ::write(fd, data.data() + off, data.size() - off);
     if (w < 0) {
       if (errno == EINTR) continue;
-      fail(path, std::string("write failed (") + std::strerror(errno) + ")");
+      fail_io(path, std::string("write failed (") + std::strerror(errno) + ")");
     }
     off += static_cast<std::size_t>(w);
   }
@@ -168,7 +179,7 @@ std::unique_ptr<CheckpointJournal> CheckpointJournal::resume(const std::string& 
       ::ftruncate(fd, static_cast<::off_t>(valid_bytes)) != 0) {
     const int err = errno;
     ::close(fd);
-    fail(path, std::string("cannot truncate torn tail (") + std::strerror(err) + ")");
+    fail_io(path, std::string("cannot truncate torn tail (") + std::strerror(err) + ")");
   }
   return std::unique_ptr<CheckpointJournal>(new CheckpointJournal(fd, path, fsync_every));
 }

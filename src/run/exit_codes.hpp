@@ -1,0 +1,40 @@
+// Exit-code taxonomy shared by the batch CLIs (cohesion_run,
+// cohesion_merge, cohesion_launch) and the supervisor that retries them.
+//
+// The taxonomy exists for exactly one consumer question: *is retrying this
+// invocation, unchanged, able to fix it?* Transient failures (I/O: disk
+// full, unreadable input file, torn journal write) can vanish on a retry;
+// permanent failures (malformed spec, unknown registry key, fingerprint
+// mismatch, invalid merge) reproduce deterministically, so a supervisor
+// must re-classify them as operator problems instead of burning its retry
+// budget. Documented for operators in docs/experiments.md ("Exit codes")
+// and docs/operations.md.
+#pragma once
+
+#include <stdexcept>
+
+namespace cohesion::run {
+
+enum ExitCode : int {
+  kExitSuccess = 0,      ///< every run executed; report written
+  kExitPermanent = 1,    ///< deterministic failure — retrying cannot fix it
+  kExitUsage = 2,        ///< bad command line
+  kExitTransient = 3,    ///< environmental I/O failure — retrying may fix it
+  kExitInterrupted = 4,  ///< SIGTERM/SIGINT: journal flushed, resumable
+};
+
+/// Thrown for failures of the environment (open/write/fsync/truncate), as
+/// opposed to failures of the input. CLIs map it to kExitTransient; plain
+/// std::runtime_error maps to kExitPermanent.
+struct TransientError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Whether a worker that exited with `code` is worth relaunching with the
+/// same arguments. Transient and interrupted exits are; success needs no
+/// retry and permanent/usage exits would fail identically again.
+[[nodiscard]] inline bool exit_code_retryable(int code) {
+  return code == kExitTransient || code == kExitInterrupted;
+}
+
+}  // namespace cohesion::run

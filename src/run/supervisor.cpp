@@ -1,0 +1,666 @@
+#include "run/supervisor.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+#include <thread>
+
+#include "run/exit_codes.hpp"
+#include "run/shard.hpp"
+#include "run/spec.hpp"
+
+namespace cohesion::run {
+
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+constexpr const char* kPartialFormat = "cohesion-partial-report/1";
+constexpr const char* kSupervisedFormat = "cohesion-supervised-partial/1";
+
+double seconds_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+/// The cohesion_run binary next to the current executable — the right
+/// default for both the cohesion_launch CLI and the test binary, which
+/// live in the same build tree as their workers.
+std::string sibling_runner() {
+  char buf[4096];
+  const ::ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "cohesion_run";
+  buf[n] = '\0';
+  const std::string exe(buf);
+  const std::size_t slash = exe.rfind('/');
+  if (slash == std::string::npos) return "cohesion_run";
+  return exe.substr(0, slash + 1) + "cohesion_run";
+}
+
+/// Cheap heartbeat read: journal size and complete-line count. No JSON
+/// parsing — growth is the heartbeat, lines arm fault triggers.
+struct JournalStat {
+  std::size_t bytes = 0;
+  std::size_t outcome_lines = 0;  ///< complete lines minus the header
+};
+
+JournalStat stat_journal(const std::string& path) {
+  JournalStat s;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return s;
+  std::size_t lines = 0;
+  char chunk[1 << 14];
+  while (in.read(chunk, sizeof(chunk)) || in.gcount() > 0) {
+    const std::streamsize got = in.gcount();
+    s.bytes += static_cast<std::size_t>(got);
+    lines += static_cast<std::size_t>(
+        std::count(chunk, chunk + got, '\n'));
+    if (got < static_cast<std::streamsize>(sizeof(chunk))) break;
+  }
+  s.outcome_lines = lines > 0 ? lines - 1 : 0;  // line 1 is the header
+  return s;
+}
+
+/// Everything the supervisor tracks about one shard beyond its public
+/// ShardStatus. The lease is (last_progress, journal growth); `retained`
+/// accumulates outcomes recovered from dead attempts so a retry that
+/// starts over (or a final partial report) never loses them.
+struct ShardState {
+  ShardStatus status;
+  ::pid_t pid = -1;
+  Clock::time_point last_progress{};
+  Clock::time_point retry_at{};
+  std::size_t journal_bytes = 0;
+  bool corrupt_pending = false;  ///< corrupt fault fired; scribble tail at reap
+  std::vector<RunOutcome> retained;
+  Json partial;  ///< parsed partial report once collected
+  std::vector<char> fault_fired;  ///< parallel to SupervisorOptions::faults
+
+  std::string journal_path;
+  std::string partial_path;
+  std::string log_path;
+};
+
+bool is_terminal(const ShardState& s) {
+  return s.status.state == ShardStatus::State::done ||
+         s.status.state == ShardStatus::State::failed;
+}
+
+void append_torn_tail(const std::string& path) {
+  // A newline-free fragment of a plausible outcome line: exactly what a
+  // crash mid-write(2) would leave if appends were not single writes.
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  out << R"({"index": 4294967295, "variant": 0, "repe)";
+}
+
+}  // namespace
+
+double RetryPolicy::backoff_seconds(std::size_t shard, std::size_t failed_attempts) const {
+  const std::size_t exponent = failed_attempts > 0 ? failed_attempts - 1 : 0;
+  double delay = base_delay_seconds * std::pow(multiplier, static_cast<double>(exponent));
+  delay = std::min(delay, max_delay_seconds);
+  // Seeded jitter: a pure function of (seed, shard, attempt), so backoff
+  // schedules are reproducible — asserted in tests — yet differ across
+  // shards that died in the same instant.
+  std::uint64_t state = jitter_seed;
+  state ^= 0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(shard) + 1);
+  state ^= 0xBF58476D1CE4E5B9ull * (static_cast<std::uint64_t>(failed_attempts) + 1);
+  const double u = static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+  return delay * (1.0 + jitter * u);
+}
+
+FaultPlan FaultPlan::parse(const std::string& text) {
+  const auto bad = [&](const std::string& why) -> std::runtime_error {
+    return std::runtime_error("bad fault \"" + text + "\": " + why +
+                              " (expected kind:shard=J[,attempt=A][,after=K] with kind one of "
+                              "kill, stall, corrupt)");
+  };
+  const std::size_t colon = text.find(':');
+  if (colon == std::string::npos) throw bad("missing ':'");
+  const std::string kind = text.substr(0, colon);
+  FaultPlan f;
+  if (kind == "kill") {
+    f.kind = Kind::kill;
+  } else if (kind == "stall") {
+    f.kind = Kind::stall;
+  } else if (kind == "corrupt") {
+    f.kind = Kind::corrupt;
+  } else {
+    throw bad("unknown kind \"" + kind + "\"");
+  }
+  bool have_shard = false;
+  std::size_t pos = colon + 1;
+  while (pos <= text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string token = text.substr(pos, comma - pos);
+    const std::size_t eq = token.find('=');
+    if (token.empty() || eq == std::string::npos) throw bad("bad token \"" + token + "\"");
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    std::size_t parsed = 0;
+    if (value.empty()) throw bad("empty value for " + key);
+    for (const char c : value) {
+      if (c < '0' || c > '9') throw bad("non-numeric value for " + key);
+      parsed = parsed * 10 + static_cast<std::size_t>(c - '0');
+    }
+    if (key == "shard") {
+      f.shard = parsed;
+      have_shard = true;
+    } else if (key == "attempt") {
+      if (parsed == 0) throw bad("attempt is 1-based");
+      f.attempt = parsed;
+    } else if (key == "after") {
+      f.after_lines = parsed;
+    } else {
+      throw bad("unknown key \"" + key + "\"");
+    }
+    pos = comma + 1;
+  }
+  if (!have_shard) throw bad("missing shard=J");
+  return f;
+}
+
+std::string FaultPlan::describe() const {
+  const char* kind_name =
+      kind == Kind::kill ? "kill" : kind == Kind::stall ? "stall" : "corrupt";
+  return std::string(kind_name) + ":shard=" + std::to_string(shard) +
+         ",attempt=" + std::to_string(attempt) + ",after=" + std::to_string(after_lines);
+}
+
+const char* ShardStatus::state_name() const {
+  switch (state) {
+    case State::pending: return "pending";
+    case State::running: return "running";
+    case State::backoff: return "backoff";
+    case State::done: return "done";
+    case State::failed: return "failed";
+  }
+  return "?";
+}
+
+std::vector<RunOutcome> merge_attempt_outcomes(
+    const std::vector<std::vector<RunOutcome>>& attempts) {
+  std::map<std::size_t, RunOutcome> by_index;
+  for (const std::vector<RunOutcome>& attempt : attempts) {
+    for (const RunOutcome& o : attempt) {
+      const auto [it, fresh] = by_index.try_emplace(o.index, o);
+      if (fresh) continue;
+      RunOutcome& kept = it->second;
+      const bool kept_ok = kept.error.empty();
+      const bool new_ok = o.error.empty();
+      if (kept_ok && new_ok) {
+        // Outcomes are deterministic functions of the grid position, so two
+        // completed attempts must agree exactly; a difference means the
+        // attempts ran different specs (or nondeterminism crept in) and no
+        // silent choice between them is right.
+        if (kept.to_json().dump() != o.to_json().dump()) {
+          throw std::runtime_error(
+              "attempt merge: conflicting completed outcomes for grid index " +
+              std::to_string(o.index) +
+              " — attempts disagree on a deterministic run (different spec or "
+              "nondeterministic engine); refusing to pick one");
+        }
+      } else if (!kept_ok && new_ok) {
+        kept = o;  // a completed outcome supersedes an environmental error
+      } else if (!kept_ok && !new_ok) {
+        kept = o;  // between two errors, the later attempt's wins
+      }
+      // kept_ok && !new_ok: keep the completed outcome.
+    }
+  }
+  std::vector<RunOutcome> out;
+  out.reserve(by_index.size());
+  for (auto& [index, o] : by_index) out.push_back(std::move(o));
+  return out;
+}
+
+bool read_journal_outcomes(const std::string& path, std::vector<RunOutcome>& outcomes) {
+  outcomes.clear();
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  const std::string content((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+  while (pos < content.size()) {
+    const std::size_t nl = content.find('\n', pos);
+    if (nl == std::string::npos) break;  // torn tail — a crash artifact, ignored
+    const std::string_view line(content.data() + pos, nl - pos);
+    pos = nl + 1;
+    ++line_no;
+    if (line_no == 1) continue;  // header
+    try {
+      outcomes.push_back(RunOutcome::from_json(Json::parse(line)));
+    } catch (const std::exception&) {
+      // A live worker owns this file; skip anything unreadable rather than
+      // fail supervision over a monitoring read.
+    }
+  }
+  return line_no > 0;
+}
+
+Supervisor::Supervisor(SupervisorOptions options) : options_(std::move(options)) {}
+
+SupervisorResult Supervisor::run() {
+  if (options_.shards == 0) throw std::runtime_error("supervisor: shards must be >= 1");
+  if (options_.retry.max_attempts == 0) {
+    throw std::runtime_error("supervisor: max_attempts must be >= 1");
+  }
+  if (options_.runner.empty()) options_.runner = sibling_runner();
+  if (::access(options_.runner.c_str(), X_OK) != 0) {
+    throw std::runtime_error("supervisor: runner " + options_.runner + " is not executable");
+  }
+
+  // Parse the spec up front: total_runs for progress/coverage, and a spec
+  // error is the supervisor's to report, not N workers' to rediscover.
+  const Json doc = Json::parse_file(options_.spec_path);
+  ExperimentSpec experiment;
+  if (doc.contains("base")) {
+    experiment = ExperimentSpec::from_json(doc);
+  } else {
+    experiment.base = RunSpec::from_json(doc);
+    experiment.name = experiment.base.name;
+  }
+  const std::size_t total_runs =
+      experiment.variant_count() * std::max<std::size_t>(experiment.repeats, 1);
+
+  std::error_code ec;
+  fs::create_directories(options_.work_dir, ec);
+  if (ec) {
+    throw std::runtime_error("supervisor: cannot create work dir " + options_.work_dir + " (" +
+                             ec.message() + ")");
+  }
+
+  const auto event = [&](const std::string& line) {
+    if (options_.on_event) options_.on_event(line);
+  };
+
+  std::vector<ShardState> shards(options_.shards);
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    ShardState& s = shards[i];
+    const std::string stem = options_.work_dir + "/shard_" + std::to_string(i);
+    s.journal_path = stem + ".ckpt";
+    s.partial_path = stem + ".partial.json";
+    s.log_path = stem + ".log";
+    s.fault_fired.assign(options_.faults.size(), 0);
+  }
+
+  const auto spawn = [&](std::size_t index) {
+    ShardState& s = shards[index];
+    fs::remove(s.partial_path, ec);  // a stale partial must never masquerade as coverage
+    ++s.status.attempts;
+    s.corrupt_pending = false;
+    std::vector<std::string> args = {
+        options_.runner,
+        options_.spec_path,
+        "--shard",
+        std::to_string(index) + "/" + std::to_string(options_.shards),
+        "--resume",
+        s.journal_path,
+        "--out",
+        s.partial_path,
+        "--threads",
+        std::to_string(std::max<std::size_t>(options_.worker_threads, 1)),
+    };
+    if (options_.throttle_ms > 0) {
+      args.push_back("--throttle-ms");
+      args.push_back(std::to_string(options_.throttle_ms));
+    }
+    const ::pid_t pid = ::fork();
+    if (pid < 0) {
+      // Treat like any other transient death; the retry path owns it.
+      s.status.last_failure = std::string("fork failed (") + std::strerror(errno) + ")";
+      s.status.state = s.status.attempts >= options_.retry.max_attempts
+                           ? ShardStatus::State::failed
+                           : ShardStatus::State::backoff;
+      s.retry_at = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                      std::chrono::duration<double>(options_.retry.backoff_seconds(
+                                          index, s.status.attempts)));
+      return;
+    }
+    if (pid == 0) {
+      const int log = ::open(s.log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+      if (log >= 0) {
+        ::dup2(log, STDOUT_FILENO);
+        ::dup2(log, STDERR_FILENO);
+        if (log > STDERR_FILENO) ::close(log);
+      }
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (std::string& a : args) argv.push_back(a.data());
+      argv.push_back(nullptr);
+      ::execv(argv[0], argv.data());
+      ::_exit(127);  // exec failure — reported through the exit status
+    }
+    s.pid = pid;
+    s.status.state = ShardStatus::State::running;
+    s.journal_bytes = stat_journal(s.journal_path).bytes;
+    s.last_progress = Clock::now();
+    event("shard " + std::to_string(index) + " attempt " + std::to_string(s.status.attempts) +
+          " launched (pid " + std::to_string(pid) + ")");
+  };
+
+  // A dead worker's journal still holds fsync'd outcomes; fold them into
+  // `retained` so no completed run is ever lost — not to a retry that
+  // starts a fresh journal, and not to a shard that fails for good.
+  const auto retain_journal = [&](ShardState& s) {
+    std::vector<RunOutcome> journaled;
+    read_journal_outcomes(s.journal_path, journaled);
+    try {
+      s.retained = merge_attempt_outcomes({s.retained, journaled});
+    } catch (const std::exception& e) {
+      event(std::string("WARNING: ") + e.what());
+    }
+  };
+
+  const auto on_death = [&](std::size_t index, const std::string& reason, bool permanent) {
+    ShardState& s = shards[index];
+    s.pid = -1;
+    s.status.last_failure = reason;
+    retain_journal(s);
+    if (permanent) {
+      s.status.state = ShardStatus::State::failed;
+      event("shard " + std::to_string(index) + " FAILED permanently: " + reason);
+      return;
+    }
+    if (s.status.attempts >= options_.retry.max_attempts) {
+      s.status.state = ShardStatus::State::failed;
+      event("shard " + std::to_string(index) + " FAILED: retry budget exhausted after " +
+            std::to_string(s.status.attempts) + " attempts (last: " + reason + ")");
+      return;
+    }
+    const double delay = options_.retry.backoff_seconds(index, s.status.attempts);
+    s.status.state = ShardStatus::State::backoff;
+    s.retry_at = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                    std::chrono::duration<double>(delay));
+    event("shard " + std::to_string(index) + " died (" + reason + "); retry " +
+          std::to_string(s.status.attempts + 1) + "/" +
+          std::to_string(options_.retry.max_attempts) + " in " + std::to_string(delay) + "s");
+  };
+
+  const auto try_collect_partial = [&](ShardState& s, std::size_t index,
+                                       std::string& why) -> bool {
+    try {
+      Json p = Json::parse_file(s.partial_path);
+      if (!p.is_object() || p.string_or("format", "") != kPartialFormat) {
+        why = "not a partial report";
+        return false;
+      }
+      if (static_cast<std::size_t>(p.at("shard").at("index").as_uint()) != index) {
+        why = "partial report belongs to another shard";
+        return false;
+      }
+      std::vector<RunOutcome> outcomes;
+      for (const Json& r : p.at("runs").items()) outcomes.push_back(RunOutcome::from_json(r));
+      s.retained = merge_attempt_outcomes({s.retained, outcomes});
+      s.partial = std::move(p);
+      return true;
+    } catch (const std::exception& e) {
+      why = e.what();
+      return false;
+    }
+  };
+
+  // One pass over a running shard: heartbeat from the journal, armed fault
+  // triggers, then the lease check. Reaping happens separately so a kill
+  // issued here is observed (and classified) on a later pass.
+  const auto poll_running = [&](std::size_t index) {
+    ShardState& s = shards[index];
+    const JournalStat js = stat_journal(s.journal_path);
+    if (js.bytes > s.journal_bytes) {
+      s.journal_bytes = js.bytes;
+      s.last_progress = Clock::now();
+    }
+    s.status.journal_lines = js.outcome_lines;
+
+    for (std::size_t f = 0; f < options_.faults.size(); ++f) {
+      const FaultPlan& fault = options_.faults[f];
+      if (s.fault_fired[f] || fault.shard != index || fault.attempt != s.status.attempts ||
+          js.outcome_lines < fault.after_lines) {
+        continue;
+      }
+      s.fault_fired[f] = 1;
+      event("fault injected on shard " + std::to_string(index) + ": " + fault.describe());
+      switch (fault.kind) {
+        case FaultPlan::Kind::kill:
+          ::kill(s.pid, SIGKILL);
+          break;
+        case FaultPlan::Kind::stall:
+          // The worker lives but its heartbeat stops; only the lease can
+          // catch this, which is exactly what the harness verifies.
+          ::kill(s.pid, SIGSTOP);
+          break;
+        case FaultPlan::Kind::corrupt:
+          ::kill(s.pid, SIGKILL);
+          s.corrupt_pending = true;
+          break;
+      }
+    }
+
+    if (seconds_between(s.last_progress, Clock::now()) > options_.lease.timeout_seconds) {
+      // Lease expired: no journal growth for the whole window. SIGKILL is
+      // safe on live, wedged and SIGSTOPped processes alike.
+      ::kill(s.pid, SIGKILL);
+      int st = 0;
+      ::waitpid(s.pid, &st, 0);
+      on_death(index,
+               "lease expired (no journal progress for " +
+                   std::to_string(options_.lease.timeout_seconds) + "s)",
+               /*permanent=*/false);
+    }
+  };
+
+  const auto reap = [&](std::size_t index) {
+    ShardState& s = shards[index];
+    int st = 0;
+    const ::pid_t got = ::waitpid(s.pid, &st, WNOHANG);
+    if (got != s.pid) return;
+    s.pid = -1;
+    if (s.corrupt_pending) {
+      append_torn_tail(s.journal_path);
+      s.corrupt_pending = false;
+    }
+    if (WIFEXITED(st)) {
+      const int code = WEXITSTATUS(st);
+      // Any exit that left a complete partial report covers the shard —
+      // including exit 1 from in-report run errors, which the merged
+      // report carries exactly like a single-process run would.
+      std::string why;
+      if (try_collect_partial(s, index, why)) {
+        s.status.state = ShardStatus::State::done;
+        s.status.journal_lines = stat_journal(s.journal_path).outcome_lines;
+        event("shard " + std::to_string(index) + " done (exit " + std::to_string(code) +
+              ", attempt " + std::to_string(s.status.attempts) + ")");
+        return;
+      }
+      if (code == kExitSuccess) {
+        on_death(index, "exit 0 but partial report unusable (" + why + ")",
+                 /*permanent=*/false);
+      } else {
+        on_death(index, "exit code " + std::to_string(code),
+                 /*permanent=*/!exit_code_retryable(code));
+      }
+      return;
+    }
+    if (WIFSIGNALED(st)) {
+      on_death(index, std::string("killed by signal ") + std::to_string(WTERMSIG(st)),
+               /*permanent=*/false);
+    }
+  };
+
+  // Everything recovered so far, shard by shard: collected partials and
+  // retained journal outcomes for the dead, the live journal view for the
+  // running. Attempt-supersedes keeps it one outcome per index.
+  const auto recovered_outcomes = [&]() -> std::vector<RunOutcome> {
+    std::vector<std::vector<RunOutcome>> per_shard;
+    for (ShardState& s : shards) {
+      if (s.status.state == ShardStatus::State::done) {
+        per_shard.push_back(s.retained);
+        continue;
+      }
+      std::vector<RunOutcome> live;
+      read_journal_outcomes(s.journal_path, live);
+      try {
+        per_shard.push_back(merge_attempt_outcomes({s.retained, live}));
+      } catch (const std::exception& e) {
+        event(std::string("WARNING: ") + e.what());
+        per_shard.push_back(s.retained);
+      }
+    }
+    std::vector<RunOutcome> all;
+    for (std::vector<RunOutcome>& v : per_shard) {
+      all.insert(all.end(), std::make_move_iterator(v.begin()),
+                 std::make_move_iterator(v.end()));
+    }
+    std::sort(all.begin(), all.end(),
+              [](const RunOutcome& a, const RunOutcome& b) { return a.index < b.index; });
+    return all;
+  };
+
+  event("supervising " + std::to_string(options_.shards) + " shards of " + options_.spec_path +
+        " (" + std::to_string(total_runs) + " runs, max " +
+        std::to_string(options_.retry.max_attempts) + " attempts/shard, lease " +
+        std::to_string(options_.lease.timeout_seconds) + "s)");
+
+  Clock::time_point last_status = Clock::now();
+  while (true) {
+    std::size_t running = 0;
+    for (const ShardState& s : shards) {
+      if (s.status.state == ShardStatus::State::running) ++running;
+    }
+    const std::size_t cap =
+        options_.max_parallel == 0 ? shards.size() : options_.max_parallel;
+    for (std::size_t i = 0; i < shards.size() && running < cap; ++i) {
+      ShardState& s = shards[i];
+      const bool due_retry =
+          s.status.state == ShardStatus::State::backoff && Clock::now() >= s.retry_at;
+      if (s.status.state == ShardStatus::State::pending || due_retry) {
+        spawn(i);
+        if (s.status.state == ShardStatus::State::running) ++running;
+      }
+    }
+
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      if (shards[i].status.state != ShardStatus::State::running) continue;
+      reap(i);
+      if (shards[i].status.state == ShardStatus::State::running) poll_running(i);
+    }
+
+    const bool all_terminal =
+        std::all_of(shards.begin(), shards.end(), [](const ShardState& s) {
+          return is_terminal(s);
+        });
+    if (all_terminal) break;
+
+    if (seconds_between(last_status, Clock::now()) >= options_.lease.status_interval_seconds) {
+      last_status = Clock::now();
+      const std::vector<RunOutcome> all = recovered_outcomes();
+      std::size_t done = 0, in_flight = 0, backoff = 0, failed = 0;
+      for (const ShardState& s : shards) {
+        switch (s.status.state) {
+          case ShardStatus::State::done: ++done; break;
+          case ShardStatus::State::running: ++in_flight; break;
+          case ShardStatus::State::backoff: ++backoff; break;
+          case ShardStatus::State::failed: ++failed; break;
+          case ShardStatus::State::pending: break;
+        }
+      }
+      event("progress: " + std::to_string(all.size()) + "/" + std::to_string(total_runs) +
+            " runs; shards " + std::to_string(done) + " done, " + std::to_string(in_flight) +
+            " running, " + std::to_string(backoff) + " backoff, " + std::to_string(failed) +
+            " failed; partial aggregate: " + BatchRunner::aggregate(all).to_json().dump());
+    }
+
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        std::max(options_.lease.poll_interval_seconds, 0.001)));
+  }
+
+  SupervisorResult result;
+  result.total_runs = total_runs;
+  for (ShardState& s : shards) result.shards.push_back(s.status);
+
+  const bool all_done = std::all_of(shards.begin(), shards.end(), [](const ShardState& s) {
+    return s.status.state == ShardStatus::State::done;
+  });
+  if (all_done) {
+    std::vector<Json> partials;
+    partials.reserve(shards.size());
+    for (ShardState& s : shards) partials.push_back(std::move(s.partial));
+    try {
+      result.report = merge_partial_reports(partials);
+      result.complete = true;
+      result.covered_runs = total_runs;
+      const std::size_t errors =
+          static_cast<std::size_t>(result.report.at("aggregate").at("errors").as_uint());
+      result.exit_code = errors == 0 ? kExitSuccess : kExitPermanent;
+      event("complete: merged " + std::to_string(shards.size()) + " partial reports (" +
+            std::to_string(total_runs) + " runs" +
+            (errors > 0 ? ", " + std::to_string(errors) + " run errors" : "") + ")");
+      return result;
+    } catch (const std::exception& e) {
+      // Partials that refuse to merge degrade to the partial document —
+      // an explicit inconsistency report, never a silent wrong answer.
+      event(std::string("merge failed: ") + e.what());
+      result.report = Json::object();
+      result.report.set("merge_error", std::string(e.what()));
+    }
+  }
+
+  // Degraded output: every recovered outcome plus an explicit statement of
+  // what is NOT covered.
+  const std::vector<RunOutcome> all = recovered_outcomes();
+  Json merge_err = result.report.is_object() && result.report.contains("merge_error")
+                       ? std::move(result.report)
+                       : Json::object();
+  Json out = Json::object();
+  out.set("format", kSupervisedFormat);
+  out.set("complete", false);
+  out.set("spec", options_.spec_path);
+  out.set("total_runs", total_runs);
+  out.set("covered_runs", all.size());
+  JsonArray uncovered;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (shards[i].status.state != ShardStatus::State::done) uncovered.push_back(Json(i));
+  }
+  out.set("uncovered_shards", Json(std::move(uncovered)));
+  JsonArray shard_docs;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const ShardStatus& st = shards[i].status;
+    Json sd = Json::object();
+    sd.set("index", i);
+    sd.set("state", st.state_name());
+    sd.set("attempts", st.attempts);
+    sd.set("journal_lines", st.journal_lines);
+    if (!st.last_failure.empty()) sd.set("last_failure", st.last_failure);
+    shard_docs.push_back(std::move(sd));
+  }
+  out.set("shards", Json(std::move(shard_docs)));
+  if (merge_err.contains("merge_error")) out.set("merge_error", merge_err.at("merge_error"));
+  out.set("aggregate", BatchRunner::aggregate(all).to_json());
+  JsonArray runs;
+  for (const RunOutcome& o : all) runs.push_back(o.to_json());
+  out.set("runs", Json(std::move(runs)));
+
+  result.report = std::move(out);
+  result.complete = false;
+  result.covered_runs = all.size();
+  result.exit_code = kExitPermanent;
+  event("INCOMPLETE: " + std::to_string(all.size()) + "/" + std::to_string(total_runs) +
+        " runs covered; see uncovered_shards in the partial report");
+  return result;
+}
+
+}  // namespace cohesion::run

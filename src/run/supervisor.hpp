@@ -1,0 +1,178 @@
+// Fault-tolerant sweep supervision: launch `cohesion_run --shard i/N`
+// worker processes, watch each shard under a lease, and retry dead shards
+// until the sweep's merged report is byte-identical to the single-process
+// `--no-timing` report — or, when a shard exhausts its retry budget, emit
+// a coverage-annotated partial report instead of nothing.
+//
+// The moving parts:
+//
+//   * Lease/heartbeat. A worker's heartbeat is its checkpoint journal:
+//     every completed run appends one fsync'd line, so journal growth
+//     (bytes + complete lines) is progress. A shard whose journal stops
+//     growing for LeaseConfig::timeout_seconds has lost its lease — the
+//     supervisor SIGKILLs whatever is left of it and treats it as a
+//     transient death. No in-band protocol, no pipes: a worker that is
+//     alive but wedged (or SIGSTOPped) is indistinguishable from a dead
+//     one, which is exactly the point.
+//   * Retry with exponential backoff + deterministic jitter. Transient
+//     deaths (signals, lease expiry, exit codes 3/4) are relaunched with
+//     `--resume` against the same journal, so completed runs are never
+//     recomputed; RetryPolicy caps attempts and spreads relaunches with a
+//     seeded jitter source (pure function of shard + attempt — asserted
+//     in tests, so backoff schedules are reproducible). Permanent exits
+//     (1/2: bad spec, fingerprint mismatch) fail the shard immediately.
+//   * Degraded output. While shards are in flight the supervisor streams
+//     progress + a partial aggregate (folded over every journaled outcome
+//     so far) through SupervisorOptions::on_event. When every shard
+//     completes, the partial reports merge byte-identically
+//     (run::merge_partial_reports); when any shard fails for good, the
+//     result is a "cohesion-supervised-partial/1" document that names the
+//     uncovered shards and still carries everything recovered from their
+//     journals — never a silent wrong answer.
+//   * Fault injection. FaultPlan sabotages a specific (shard, attempt)
+//     from the supervisor's poll loop — SIGKILL after k journal lines,
+//     SIGSTOP (a heartbeat stall the lease must catch), or kill + corrupt
+//     the journal tail (which `--resume` must truncate away). The
+//     injection matrix is driven by tests/run/launch_e2e_test.cpp and the
+//     fault_sweep stage of bench/run_benches.sh; the acceptance bar is
+//     byte-identity of the supervised report under every schedule.
+//
+// Single-host first: workers are fork/exec'd children on this machine.
+// The multi-host story composes on top (each host runs one supervisor
+// over its own shard range; journals and partials are plain files) — see
+// docs/operations.md.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "run/batch_runner.hpp"
+#include "run/json.hpp"
+
+namespace cohesion::run {
+
+/// Exponential backoff with seeded jitter. backoff_seconds is a pure
+/// function of (shard, attempt) — deterministic schedules, testable and
+/// reproducible across supervisor restarts — while still de-synchronizing
+/// shards that died together (jitter differs per shard).
+struct RetryPolicy {
+  std::size_t max_attempts = 3;    ///< total launches per shard (>= 1)
+  double base_delay_seconds = 0.25;///< backoff before the 2nd attempt
+  double multiplier = 2.0;         ///< growth per further attempt
+  double max_delay_seconds = 30.0; ///< cap before jitter
+  double jitter = 0.5;             ///< adds up to this fraction on top
+  std::uint64_t jitter_seed = 0x636f686573696f6eull;
+
+  /// Delay before relaunching `shard` after it has died `failed_attempts`
+  /// times (>= 1): min(max, base * multiplier^(failed_attempts-1)) *
+  /// (1 + jitter * u) with u in [0,1) drawn by splitmix64 from
+  /// (jitter_seed, shard, failed_attempts).
+  [[nodiscard]] double backoff_seconds(std::size_t shard, std::size_t failed_attempts) const;
+};
+
+/// Lease/heartbeat timing. The journal poll is the supervisor's clock.
+struct LeaseConfig {
+  double timeout_seconds = 15.0;        ///< no journal growth for this long = dead
+  double poll_interval_seconds = 0.05;  ///< reap/heartbeat/fault poll cadence
+  double status_interval_seconds = 2.0; ///< partial-aggregate stream cadence
+};
+
+/// One injected fault: sabotage `shard`'s launch number `attempt` once its
+/// journal holds `after_lines` completed-outcome lines.
+struct FaultPlan {
+  enum class Kind {
+    kill,    ///< SIGKILL — a crash/OOM stand-in
+    stall,   ///< SIGSTOP — heartbeats stop but the process lives; the
+             ///< lease must expire before the supervisor recovers
+    corrupt, ///< SIGKILL, then append a torn (newline-free) garbage tail
+             ///< to the journal — resume must drop + truncate it
+  };
+  Kind kind = Kind::kill;
+  std::size_t shard = 0;
+  std::size_t attempt = 1;      ///< 1-based launch number to sabotage
+  std::size_t after_lines = 0;  ///< outcome lines that arm the fault
+
+  /// Parse the CLI form "kind:shard=J[,attempt=A][,after=K]", e.g.
+  /// "kill:shard=1,after=3" or "stall:shard=0,attempt=2". Throws
+  /// std::runtime_error naming the bad token otherwise.
+  static FaultPlan parse(const std::string& text);
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Where one shard ended up, for reports and tests.
+struct ShardStatus {
+  enum class State { pending, running, backoff, done, failed };
+  State state = State::pending;
+  std::size_t attempts = 0;       ///< launches so far
+  std::size_t journal_lines = 0;  ///< completed-outcome lines last observed
+  std::string last_failure;       ///< most recent death, human-readable
+  [[nodiscard]] const char* state_name() const;
+};
+
+struct SupervisorOptions {
+  std::string runner;          ///< cohesion_run binary (default: sibling of this process)
+  std::string spec_path;       ///< experiment spec file, passed through to workers
+  std::size_t shards = 1;      ///< N in --shard i/N
+  std::size_t worker_threads = 1;  ///< --threads per worker
+  std::size_t max_parallel = 0;    ///< concurrently running workers; 0 = all
+  std::size_t throttle_ms = 0;     ///< forwarded as --throttle-ms (fault harness pacing)
+  std::string work_dir = "cohesion_launch.work";  ///< journals, partials, worker logs
+  RetryPolicy retry;
+  LeaseConfig lease;
+  std::vector<FaultPlan> faults;
+  /// Progress/event sink (one line per call, no trailing newline). The CLI
+  /// points this at stderr; default drops events.
+  std::function<void(const std::string&)> on_event;
+};
+
+struct SupervisorResult {
+  bool complete = false;   ///< every shard covered; `report` is the merged report
+  Json report;             ///< merged single-process report, or the partial doc
+  std::vector<ShardStatus> shards;
+  std::size_t total_runs = 0;
+  std::size_t covered_runs = 0;  ///< outcomes present in `report`
+  int exit_code = 1;             ///< suggested process exit (run/exit_codes.hpp)
+};
+
+/// Collapse per-attempt outcome lists for one shard into exactly one
+/// outcome per grid index — the merge a supervisor needs when a retry's
+/// journal overlaps its dead predecessor's. Semantics (attempt-supersedes):
+///   * an index only one attempt produced keeps that outcome;
+///   * two *completed* outcomes (no `error`) for the same index must be
+///     byte-identical (outcomes are deterministic — a difference means the
+///     attempts ran different specs or the engine is nondeterministic) or
+///     the merge throws std::runtime_error naming the index;
+///   * a completed outcome supersedes an errored one in either direction
+///     (the error was environmental; the completed result is the run's one
+///     true outcome); between two errored outcomes the later attempt wins.
+/// Returns outcomes sorted by grid index.
+std::vector<RunOutcome> merge_attempt_outcomes(
+    const std::vector<std::vector<RunOutcome>>& attempts);
+
+/// Read every complete outcome line of a checkpoint journal (header
+/// skipped, torn tail ignored) without validating fingerprints — the
+/// supervisor's heartbeat/partial-aggregate view of a worker's progress.
+/// Returns false when the file is missing/empty. Unparseable complete
+/// lines are skipped (a live worker may be mid-write of weird state; the
+/// authoritative read is the worker's own resume).
+bool read_journal_outcomes(const std::string& path, std::vector<RunOutcome>& outcomes);
+
+class Supervisor {
+ public:
+  explicit Supervisor(SupervisorOptions options);
+
+  /// Run the whole supervised sweep to a terminal state. Blocking; returns
+  /// rather than throws for everything attributable to workers (their
+  /// failures land in the result). Throws std::runtime_error only for
+  /// supervisor-level misuse: unreadable/invalid spec, shards == 0, or an
+  /// un-creatable work dir.
+  [[nodiscard]] SupervisorResult run();
+
+ private:
+  SupervisorOptions options_;
+};
+
+}  // namespace cohesion::run

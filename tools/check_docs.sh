@@ -60,6 +60,13 @@ for flag in --shard --checkpoint --resume --fsync-every --threads --out --no-tim
     complain "docs/operations.md does not document cohesion_run $flag"
 done
 
+# Supervisor (cohesion_launch) flags: same rule.
+for flag in --shards --fault --lease-timeout --max-attempts --backoff-base --throttle-ms \
+            --max-parallel --work-dir; do
+  grep -q -- "$flag" docs/operations.md ||
+    complain "docs/operations.md does not document cohesion_launch $flag"
+done
+
 # Spec-level schema fields: documented with the rest of the spec schema.
 for field in early_stop max_time incremental_index use_spatial_index; do
   grep -q "$field" docs/experiments.md ||
@@ -67,7 +74,7 @@ for field in early_stop max_time incremental_index use_spatial_index; do
 done
 
 # The run/ops determinism contracts live in the architecture doc.
-for phrase in shard-union resume; do
+for phrase in shard-union resume fault-tolerance; do
   grep -qi "$phrase" docs/architecture.md ||
     complain "docs/architecture.md does not state the $phrase determinism contract"
 done

@@ -10,13 +10,16 @@
 // Input order does not matter; every shard of the sweep must be present
 // exactly once and the partials must come from the same spec file — merge
 // refuses anything else with an error naming the missing/conflicting
-// shard. Runbook: docs/operations.md. Exit code: 0 on success, 1 on
-// invalid/incomplete partials, 2 on bad usage.
+// shard. Runbook: docs/operations.md. Exit codes (taxonomy in
+// docs/experiments.md): 0 success, 1 invalid/incomplete partials
+// (permanent — the inputs are wrong), 2 bad usage, 3 transient I/O (an
+// input not readable yet, --out unwritable — retry once the file lands).
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "run/exit_codes.hpp"
 #include "run/shard.hpp"
 
 using namespace cohesion;
@@ -50,7 +53,14 @@ int main(int argc, char** argv) {
   try {
     std::vector<run::Json> partials;
     partials.reserve(inputs.size());
-    for (const std::string& path : inputs) partials.push_back(run::Json::parse_file(path));
+    for (const std::string& path : inputs) {
+      // An absent partial is transient (its shard may still be running or
+      // copying); a present-but-invalid one is a permanent input error.
+      std::ifstream probe(path);
+      if (!probe) throw run::TransientError("cannot open partial report " + path);
+      probe.close();
+      partials.push_back(run::Json::parse_file(path));
+    }
     const run::Json report = run::merge_partial_reports(partials);
 
     if (out_path.empty()) {
@@ -59,15 +69,18 @@ int main(int argc, char** argv) {
       std::ofstream out(out_path);
       if (!out) {
         std::cerr << "cannot write " << out_path << "\n";
-        return 1;
+        return run::kExitTransient;
       }
       out << report.dump(2) << '\n';
       std::cerr << "merged report written: " << out_path << " (" << inputs.size()
                 << " partials)\n";
     }
-    return 0;
+    return run::kExitSuccess;
+  } catch (const run::TransientError& e) {
+    std::cerr << "cohesion_merge: " << e.what() << " (transient — retrying may succeed)\n";
+    return run::kExitTransient;
   } catch (const std::exception& e) {
     std::cerr << "cohesion_merge: " << e.what() << "\n";
-    return 1;
+    return run::kExitPermanent;
   }
 }

@@ -21,21 +21,47 @@
 // The spec is either a full ExperimentSpec ({"base": {...}, "sweep": [...],
 // "repeats": N}) or a bare RunSpec object, which runs once. Spec schema and
 // seed-derivation rules: docs/experiments.md; sharding/resume contracts and
-// file formats: docs/operations.md. Exit code: 0 when every run executed
-// without error, 1 otherwise (including stale/corrupt checkpoints), 2 on
-// bad usage.
+// file formats: docs/operations.md.
+//
+// Exit codes (the taxonomy supervisors retry by — docs/experiments.md):
+//   0  every run executed without error, report written
+//   1  permanent failure: bad spec, unknown registry key, stale/corrupt
+//      checkpoint — retrying the same invocation fails the same way
+//   2  bad usage
+//   3  transient failure: I/O (unreadable spec file, journal write,
+//      unwritable --out) — retrying may succeed
+//   4  interrupted by SIGTERM/SIGINT: the checkpoint journal is flushed
+//      and well-formed; rerun with --resume to continue
+#include <signal.h>
+
 #include <algorithm>
+#include <atomic>
 #include <fstream>
 #include <iostream>
 #include <string>
 
 #include "run/batch_runner.hpp"
+#include "run/exit_codes.hpp"
 #include "run/registry.hpp"
 #include "run/shard.hpp"
 
 using namespace cohesion;
 
 namespace {
+
+// Graceful shutdown: the handler only raises a flag; BatchRunner checks it
+// between runs, so no outcome (or journal line) is ever torn by a signal —
+// the journal tail stays a crash artifact, never a cancellation artifact.
+std::atomic<bool> g_interrupted{false};
+
+void install_stop_handlers() {
+  struct sigaction sa {};
+  sa.sa_handler = [](int) { g_interrupted.store(true); };
+  sa.sa_flags = SA_RESTART;  // don't turn journal writes into EINTR spam
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+}
 
 int list_registries() {
   const auto print = [](const char* kind, const std::vector<std::string>& keys) {
@@ -53,7 +79,7 @@ int list_registries() {
 int usage(int code) {
   std::cout << "usage: cohesion_run <spec.json> [--threads N] [--out FILE] [--no-timing]\n"
                "                    [--shard I/N] [--checkpoint FILE | --resume FILE]\n"
-               "                    [--fsync-every N]\n"
+               "                    [--fsync-every N] [--throttle-ms N]\n"
                "       cohesion_run --list\n";
   return code;
 }
@@ -87,6 +113,15 @@ int main(int argc, char** argv) {
         std::cerr << "bad --fsync-every value: " << argv[i] << "\n";
         return usage(2);
       }
+    } else if (arg == "--throttle-ms" && i + 1 < argc) {
+      // Fault-harness pacing: sleep after every run so a supervisor's
+      // journal poller sees a steady line cadence. Not for real sweeps.
+      try {
+        options.post_run_delay_ms = static_cast<std::size_t>(std::stoul(argv[++i]));
+      } catch (const std::exception&) {
+        std::cerr << "bad --throttle-ms value: " << argv[i] << "\n";
+        return usage(2);
+      }
     } else if (arg == "--shard" && i + 1 < argc) {
       shard_arg = argv[++i];
     } else if (arg == "--checkpoint" && i + 1 < argc) {
@@ -117,8 +152,16 @@ int main(int argc, char** argv) {
     }
   }
   if (spec_path.empty()) return usage(2);
+  install_stop_handlers();
+  options.cancel = &g_interrupted;
 
   try {
+    {
+      // Distinguish the unreadable file (transient: not copied yet, NFS
+      // hiccup) from the unparseable one (permanent) before parsing.
+      std::ifstream probe(spec_path);
+      if (!probe) throw run::TransientError("cannot open spec file " + spec_path);
+    }
     const run::Json doc = run::Json::parse_file(spec_path);
     // A bare RunSpec (no "base") runs as a one-run experiment.
     run::ExperimentSpec experiment;
@@ -142,6 +185,17 @@ int main(int argc, char** argv) {
     }
 
     const run::BatchResult result = run::BatchRunner(options).run(runs, experiment.early_stop);
+    if (result.interrupted) {
+      // No report: it would describe a truncated batch. The journal (if
+      // any) is flushed and well-formed — --resume picks up exactly here.
+      std::cerr << "cohesion_run: interrupted (SIGTERM/SIGINT) after " << result.outcomes.size()
+                << " runs"
+                << (options.checkpoint_path.empty()
+                        ? ""
+                        : "; journal flushed — rerun with --resume " + options.checkpoint_path)
+                << "\n";
+      return run::kExitInterrupted;
+    }
     // A shard emits a partial report — always deterministic (no timing
     // block; wall numbers go to stderr) so partials diff across machines.
     const run::Json report =
@@ -155,7 +209,7 @@ int main(int argc, char** argv) {
       std::ofstream out(out_path);
       if (!out) {
         std::cerr << "cannot write " << out_path << "\n";
-        return 1;
+        return run::kExitTransient;
       }
       out << report.dump(2) << '\n';
       std::cerr << "report written: " << out_path << " (" << result.outcomes.size() << " runs, "
@@ -165,12 +219,15 @@ int main(int argc, char** argv) {
     for (const run::RunOutcome& o : result.outcomes) {
       if (!o.error.empty()) {
         std::cerr << "run " << o.index << " (" << o.label << ") failed: " << o.error << "\n";
-        return 1;
+        return run::kExitPermanent;
       }
     }
-    return 0;
+    return run::kExitSuccess;
+  } catch (const run::TransientError& e) {
+    std::cerr << "cohesion_run: " << e.what() << " (transient — retrying may succeed)\n";
+    return run::kExitTransient;
   } catch (const std::exception& e) {
     std::cerr << "cohesion_run: " << e.what() << "\n";
-    return 1;
+    return run::kExitPermanent;
   }
 }
