@@ -12,7 +12,11 @@
 # stage runs the sweep under cohesion_launch with an injected kill/stall/
 # corrupt fault schedule and byte-compares the supervised report against
 # the fresh run (the fault-tolerance contract), recording the wall under
-# fault_sweep.
+# fault_sweep. A fourth stage runs one n=16384 spec in bounded-memory
+# stream-trace mode (--trace-dir), asserts peak RSS under a fixed ceiling,
+# byte-compares the report against the in-memory reference run and the
+# cohesion_replay recomputation of the stream file, and records walls +
+# RSS under stream_sweep.
 #
 # Usage: bench/run_benches.sh [BUILD_DIR] [OUT_DIR]
 #   BUILD_DIR  cmake build tree containing the bench_* executables (default: build)
@@ -193,6 +197,83 @@ else
   echo "cohesion_launch or bench/specs/kasync_sweep.json missing; skipping fault sweep" >&2
 fi
 
+# Streaming-trace sweep: one n=16384 run in bounded-memory stream mode
+# (bench/specs/stream_run.json, far past the sizes the in-memory sweeps
+# use). Three contracts are asserted, matching docs/architecture.md's
+# trace layer: peak RSS stays under a fixed ceiling (no O(activations)
+# state — the in-memory run of the same spec is measured alongside for
+# contrast), the deterministic report equals the in-memory reference
+# field for field once the trace-only fields are stripped, and
+# cohesion_replay --check recomputes the reported metrics byte-for-byte
+# from the stream file. Walls and RSS land under stream_sweep.
+STREAM_JSON="$OUT_DIR/stream_sweep_timing.json"
+rm -f "$STREAM_JSON"
+if [ -x "$BUILD_DIR/cohesion_run" ] && [ -x "$BUILD_DIR/cohesion_replay" ] \
+   && [ -f bench/specs/stream_run.json ]; then
+  echo "== stream sweep (n=16384 bounded-memory stream mode + replay byte-check)"
+  RSS_CEILING_KB=${BENCH_STREAM_RSS_CEILING_KB:-32768}
+  rm -rf "$OUT_DIR/stream_traces"
+  t_stream=$( { time "$BUILD_DIR/cohesion_run" bench/specs/stream_run.json --no-timing \
+      --trace-dir "$OUT_DIR/stream_traces" --peak-rss \
+      --out "$OUT_DIR/stream_report.json" 2> "$OUT_DIR/stream_stderr.txt"; } 2>&1 \
+      | sed -n 's/^real[[:space:]]*//p' )
+  rss_stream=$(sed -n 's/^peak_rss_kb: //p' "$OUT_DIR/stream_stderr.txt")
+  if [ -z "$rss_stream" ] || [ "$rss_stream" -gt "$RSS_CEILING_KB" ]; then
+    echo "ERROR: stream-mode peak RSS ${rss_stream:-unknown} KB exceeds the" \
+         "$RSS_CEILING_KB KB ceiling — bounded-memory mode is leaking history" >&2
+    exit 1
+  fi
+  echo "   bounded memory: peak RSS $rss_stream KB <= $RSS_CEILING_KB KB ceiling"
+  t_memory=$( { time "$BUILD_DIR/cohesion_run" bench/specs/stream_run.json --no-timing \
+      --peak-rss --out "$OUT_DIR/stream_memory_report.json" \
+      2> "$OUT_DIR/stream_stderr.txt"; } 2>&1 | sed -n 's/^real[[:space:]]*//p' )
+  rss_memory=$(sed -n 's/^peak_rss_kb: //p' "$OUT_DIR/stream_stderr.txt")
+  python3 - "$OUT_DIR/stream_report.json" "$OUT_DIR/stream_memory_report.json" <<'EOF'
+import json, sys
+stream, memory = (json.load(open(p)) for p in sys.argv[1:3])
+stream.get("experiment", {}).get("base", {}).pop("trace", None)
+for run in stream.get("runs", []):
+    run.pop("trace_path", None)
+    run.pop("trace_fingerprint", None)
+if stream != memory:
+    sys.exit("ERROR: stream-mode report differs from the in-memory reference")
+EOF
+  echo "   bit-identity: stream-mode report == in-memory report (trace fields aside)"
+  trace_file=$(ls "$OUT_DIR"/stream_traces/*.cohtrace | head -1)
+  t_replay=$( { time "$BUILD_DIR/cohesion_replay" "$trace_file" \
+      --check "$OUT_DIR/stream_report.json" > /dev/null; } 2>&1 \
+      | sed -n 's/^real[[:space:]]*//p' )
+  echo "   replay: cohesion_replay --check byte-matched the reported metrics"
+  stream_bytes=$(wc -c < "$trace_file")
+  rm -f "$OUT_DIR/stream_stderr.txt"
+  python3 - "$STREAM_JSON" "$t_stream" "$t_memory" "$t_replay" "$rss_stream" "$rss_memory" \
+      "$RSS_CEILING_KB" "$stream_bytes" "$OUT_DIR/stream_report.json" <<'EOF'
+import json, sys
+
+def seconds(real):  # "0m1.234s" -> 1.234
+    m, s = real.rstrip("s").split("m")
+    return int(m) * 60 + float(s)
+
+(target, t_stream, t_memory, t_replay, rss_stream, rss_memory, ceiling, stream_bytes,
+ report_path) = sys.argv[1:10]
+report = json.load(open(report_path))
+json.dump({
+    "spec": "bench/specs/stream_run.json",
+    "n": report["runs"][0]["n"],
+    "activations": report["runs"][0]["activations"],
+    "wall_seconds_stream": round(seconds(t_stream), 3),
+    "wall_seconds_memory": round(seconds(t_memory), 3),
+    "wall_seconds_replay": round(seconds(t_replay), 3),
+    "peak_rss_kb_stream": int(rss_stream),
+    "peak_rss_kb_memory": int(rss_memory),
+    "rss_ceiling_kb": int(ceiling),
+    "stream_bytes": int(stream_bytes),
+}, open(target, "w"))
+EOF
+else
+  echo "cohesion_run/cohesion_replay or bench/specs/stream_run.json missing; skipping stream sweep" >&2
+fi
+
 # Distill activations/sec per swarm size from the engine benches into one
 # trajectory file: {bench -> {benchmark_name -> items_per_second}}, plus the
 # declarative-sweep wall-clock scaling when it ran.
@@ -229,6 +310,12 @@ if fault.exists():
     summary["fault_sweep"] = json.loads(fault.read_text())
     summary["context"] += "; fault_sweep: supervised kill/stall/corrupt schedule (byte-compared)"
     fault.unlink()
+stream = out_dir / "stream_sweep_timing.json"
+if stream.exists():
+    summary["stream_sweep"] = json.loads(stream.read_text())
+    summary["context"] += ("; stream_sweep: n=16384 bounded-memory stream run "
+                           "(RSS-ceiling + replay byte-compared)")
+    stream.unlink()
 target = out_dir / "BENCH_engine.json"
 target.write_text(json.dumps(summary, indent=2) + "\n")
 print(f"wrote {target}")
@@ -247,4 +334,9 @@ if "fault_sweep" in summary:
     f = summary["fault_sweep"]
     print(f"  fault sweep: {f['wall_seconds_supervised_faulted']}s supervised under "
           f"{len(f['faults'])} injected faults ({f['shards']} shards)")
+if "stream_sweep" in summary:
+    s = summary["stream_sweep"]
+    print(f"  stream sweep: n={s['n']}, {s['activations']:,} activations, "
+          f"{s['peak_rss_kb_stream']} KB streamed vs {s['peak_rss_kb_memory']} KB in-memory, "
+          f"replay {s['wall_seconds_replay']}s")
 EOF

@@ -31,6 +31,16 @@ Engine::Engine(std::vector<Vec2> initial, const Algorithm& algorithm, Scheduler&
       crashed_(trace_.robot_count(), false),
       rng_(config_.seed) {
   if (trace_.robot_count() == 0) throw std::invalid_argument("Engine: empty configuration");
+  if (!config_.record_history) {
+    if (!config_.use_spatial_index) {
+      throw std::invalid_argument(
+          "Engine: record_history = false requires use_spatial_index — the reference "
+          "scan path reconstructs positions from the Trace");
+    }
+    // The scheduler's 1e-12 look-ordering slack can query one segment back;
+    // without a Trace that history must live in the kinematic state.
+    kin_.set_keep_previous(true);
+  }
   double max_radius = config_.visibility.radius;
   if (!config_.visibility.per_robot_radii.empty()) {
     max_radius = *std::max_element(config_.visibility.per_robot_radii.begin(),
@@ -45,11 +55,15 @@ Engine::Engine(std::vector<Vec2> initial, const Algorithm& algorithm, Scheduler&
   }
 }
 
+Vec2 Engine::history_position(RobotId robot, Time t) const {
+  return config_.record_history ? trace_.position(robot, t) : kin_.position_bounded(robot, t);
+}
+
 Vec2 Engine::position(RobotId robot, Time t) const {
   if (config_.use_spatial_index && t >= kin_.segment_start(robot)) {
     return kin_.position_at(robot, t);
   }
-  return trace_.position(robot, t);
+  return history_position(robot, t);
 }
 
 void Engine::refresh_grid(Time t) {
@@ -61,7 +75,7 @@ void Engine::refresh_grid(Time t) {
     // scheduler may propose a Look up to 1e-12 before the frontier, where
     // only the Trace is.
     positions_now_[r] = t >= kin_.segment_start(r) ? kin_.position_at(r, t)
-                                                   : trace_.position(r, t);
+                                                   : history_position(r, t);
   }
   grid_.rebuild(positions_now_);
   grid_time_ = t;
@@ -136,11 +150,14 @@ void Engine::snapshot_via_incremental(RobotId robot, Time t, const LocalFrame& f
 }
 
 void Engine::snapshot_via_scan(RobotId robot, Time t, const LocalFrame& frame, Snapshot& snap) {
-  const Vec2 self = trace_.position(robot, t);
+  // The reference path proper always has a Trace (ctor contract); the
+  // incremental path's backward-time fallback may not, and goes through the
+  // bounded history instead — bit-identical wherever both can answer.
+  const Vec2 self = history_position(robot, t);
   const double v = config_.visibility.radius_of(robot);
   for (RobotId other = 0; other < trace_.robot_count(); ++other) {
     if (other == robot) continue;
-    const Vec2 p = trace_.position(other, t);
+    const Vec2 p = history_position(other, t);
     const double d = self.distance_to(p);
     const bool visible = config_.visibility.open_ball ? (d < v) : (d <= v + kVisibilityEpsilon);
     if (!visible) continue;
@@ -237,8 +254,10 @@ bool Engine::step() {
                                 config_.visibility.radius_of(a.robot), rng_);
 
   ActivationRecord rec{a, self, planned, realized, snap.size()};
-  trace_.record(rec);
+  if (config_.record_history) trace_.record(rec);
   kin_.commit(rec);
+  if (sink_) sink_->append(rec);
+  end_time_ = std::max(end_time_, a.t_move_end);
   // A commit leaves every position at its own Look time unchanged — except
   // a zero-duration move (t_move_end == t_look), which teleports the robot
   // to `realized` at that very instant; a grid built at this Look must not
@@ -289,7 +308,7 @@ std::vector<Vec2> Engine::current_configuration() const {
   // Evaluate at the end of all committed motion: the configuration "if
   // nothing further is scheduled". That instant is at or after every
   // committed Look, so the kinematic cache answers in O(n) total.
-  const Time t = trace_.end_time() + 1.0;
+  const Time t = end_time_ + 1.0;
   if (!config_.use_spatial_index) return trace_.configuration(t);
   std::vector<Vec2> out(trace_.robot_count());
   for (RobotId r = 0; r < out.size(); ++r) out[r] = kin_.position_at(r, t);

@@ -77,6 +77,13 @@ struct EngineConfig {
   /// incremental-vs-rebuild benchmark axis. Ignored when use_spatial_index
   /// is false.
   bool incremental_index = true;
+  /// Materialize the full activation history in the in-memory Trace. false
+  /// selects the bounded-memory mode: the engine keeps only each robot's
+  /// current + previous trajectory segment (O(robot count) state, not
+  /// O(activation count)); history consumers attach through
+  /// set_trace_sink() instead. Requires use_spatial_index — the reference
+  /// scan path reads the Trace by construction.
+  bool record_history = true;
 };
 
 /// Hook that lets an adversary replace the perceived snapshot of a given
@@ -121,9 +128,21 @@ class Engine final : public SimulationView {
   /// perform the nil movement.
   void crash(RobotId robot) { crashed_.at(robot) = true; }
 
+  /// The materialized history. With record_history = false this holds only
+  /// the initial configuration (no records) — consume the sink instead.
   [[nodiscard]] const Trace& trace() const { return trace_; }
   [[nodiscard]] std::vector<geom::Vec2> current_configuration() const;
   [[nodiscard]] double current_diameter() const;
+
+  /// Time of the last committed move end (0 before any activation).
+  /// Maintained by the engine itself, so it is exact in both history modes.
+  [[nodiscard]] Time end_time() const { return end_time_; }
+
+  /// Attach a sink that receives every subsequently-committed
+  /// ActivationRecord (after the in-memory Trace, when that is recording).
+  /// Non-owning; pass nullptr to detach. The engine never calls finish() —
+  /// the owner does, once stepping is over.
+  void set_trace_sink(TraceSink* sink) { sink_ = sink; }
 
   void set_perception_hook(PerceptionHook hook) { perception_hook_ = std::move(hook); }
 
@@ -145,6 +164,10 @@ class Engine final : public SimulationView {
   /// positions_now_[robot] at the incremental path's current query time,
   /// computed on first use per (robot, time) and invalidated on commit.
   [[nodiscard]] geom::Vec2 cached_position(RobotId robot);
+  /// Position from history for a query the kinematic cache's current
+  /// segment cannot answer (t before the segment's Look): the Trace when
+  /// recording, else the retained previous segment.
+  [[nodiscard]] geom::Vec2 history_position(RobotId robot, Time t) const;
 
   const Algorithm& algorithm_;
   Scheduler& scheduler_;
@@ -155,7 +178,9 @@ class Engine final : public SimulationView {
   std::vector<std::size_t> activation_counts_;
   std::vector<bool> crashed_;
   Time frontier_ = 0.0;
+  Time end_time_ = 0.0;  // running max of committed t_move_end
   std::mt19937_64 rng_;
+  TraceSink* sink_ = nullptr;
   PerceptionHook perception_hook_;
 
   SpatialGrid grid_;

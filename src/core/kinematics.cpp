@@ -1,5 +1,8 @@
 #include "core/kinematics.hpp"
 
+#include <stdexcept>
+#include <string>
+
 namespace cohesion::core {
 
 using geom::Vec2;
@@ -12,8 +15,21 @@ KinematicState::KinematicState(const std::vector<Vec2>& initial)
   }
 }
 
+void KinematicState::set_keep_previous(bool on) {
+  keep_previous_ = on;
+  if (on) {
+    // The "previous" segment of a never-activated robot is its initial rest
+    // segment (Look time 0, already settled), so position_bounded answers
+    // any t >= 0 for it — matching Trace::position's initial fallback.
+    previous_ = segments_;
+  } else {
+    previous_.clear();
+  }
+}
+
 void KinematicState::commit(const ActivationRecord& rec) {
   Segment& s = segments_.at(rec.activation.robot);
+  if (keep_previous_) previous_[rec.activation.robot] = s;
   s.from = rec.from;
   s.realized = rec.realized;
   s.t_look = rec.activation.t_look;
@@ -22,10 +38,9 @@ void KinematicState::commit(const ActivationRecord& rec) {
   if (track_dirty_) dirty_.push_back(rec.activation.robot);
 }
 
-Vec2 KinematicState::position_at(RobotId robot, Time t) const {
+Vec2 KinematicState::eval(const Segment& s, Time t) {
   // Mirrors the tail of Trace::position exactly — same branches, same
   // arithmetic — so both tiers agree to the last bit.
-  const Segment& s = segments_[robot];
   if (t >= s.t_move_end) return s.realized;
   if (t >= s.t_move_start) {
     const Time span = s.t_move_end - s.t_move_start;
@@ -33,6 +48,21 @@ Vec2 KinematicState::position_at(RobotId robot, Time t) const {
     return geom::lerp(s.from, s.realized, frac);
   }
   return s.from;
+}
+
+Vec2 KinematicState::position_at(RobotId robot, Time t) const {
+  return eval(segments_[robot], t);
+}
+
+Vec2 KinematicState::position_bounded(RobotId robot, Time t) const {
+  if (t >= segments_[robot].t_look) return eval(segments_[robot], t);
+  const Segment& prev = previous_.at(robot);
+  if (t >= prev.t_look) return eval(prev, t);
+  throw std::logic_error(
+      "KinematicState::position_bounded: query at t=" + std::to_string(t) + " for robot " +
+      std::to_string(robot) + " predates the retained previous segment (Look " +
+      std::to_string(prev.t_look) +
+      ") — with record_history=false the engine keeps no older history");
 }
 
 }  // namespace cohesion::core

@@ -11,7 +11,11 @@
 // robot) — and is bit-identical to Trace::position there, because it runs
 // the same interpolation arithmetic on the same committed values. Queries
 // before the current segment's Look (possible only through the scheduler's
-// 1e-12 look-ordering slack) must fall back to the Trace.
+// 1e-12 look-ordering slack) must fall back to the Trace — or, when the
+// engine keeps no Trace (EngineConfig::record_history = false), to the
+// *previous* segment retained by set_keep_previous(true): the slack only
+// ever reaches one segment back unless a robot completes two full activity
+// cycles within 1e-12, which position_bounded rejects loudly.
 #pragma once
 
 #include <vector>
@@ -34,6 +38,19 @@ class KinematicState {
   /// Position of `robot` at `t`. Exact (bit-identical to Trace::position)
   /// for t >= segment_start(robot); undefined earlier.
   [[nodiscard]] geom::Vec2 position_at(RobotId robot, Time t) const;
+
+  /// Retain each robot's previous segment across commits, making
+  /// position_bounded answer one segment further back. Enable before the
+  /// first commit; the reference paths leave it off and pay nothing.
+  void set_keep_previous(bool on);
+  [[nodiscard]] bool keep_previous() const { return keep_previous_; }
+
+  /// Position of `robot` at `t` from the current segment when
+  /// t >= segment_start(robot), else from the retained previous segment.
+  /// Bit-identical to Trace::position wherever it answers. Requires
+  /// set_keep_previous(true); throws std::logic_error when `t` predates the
+  /// previous segment's Look too (history the bounded mode no longer has).
+  [[nodiscard]] geom::Vec2 position_bounded(RobotId robot, Time t) const;
 
   /// Look time of the robot's current segment (0 before any activation; the
   /// initial segment is valid at every time).
@@ -76,9 +93,13 @@ class KinematicState {
     Time t_move_start = 0.0;
     Time t_move_end = 0.0;
   };
+  [[nodiscard]] static geom::Vec2 eval(const Segment& s, Time t);
+
   std::vector<Segment> segments_;
+  std::vector<Segment> previous_;  // keep_previous_ only: segment before current
   std::vector<RobotId> dirty_;
   bool track_dirty_ = false;
+  bool keep_previous_ = false;
 };
 
 }  // namespace cohesion::core

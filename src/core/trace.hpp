@@ -1,18 +1,21 @@
 // The full history of a simulation run: initial configuration plus every
 // committed activation in look-time order. Validators, metrics and tests
-// all consume traces.
+// all consume traces. Trace is the in-memory TraceSink implementation —
+// the bit-identical reference the streaming sinks (src/trace) are proven
+// against.
 #pragma once
 
 #include <algorithm>
 #include <vector>
 
 #include "core/activation.hpp"
+#include "core/trace_sink.hpp"
 #include "core/types.hpp"
 #include "geometry/vec2.hpp"
 
 namespace cohesion::core {
 
-class Trace {
+class Trace final : public TraceSink {
  public:
   Trace() = default;
   explicit Trace(std::vector<geom::Vec2> initial)
@@ -23,6 +26,9 @@ class Trace {
     records_.push_back(rec);
     end_time_ = std::max(end_time_, rec.activation.t_move_end);
   }
+
+  // TraceSink: materialize every record.
+  void append(const ActivationRecord& rec) override { record(rec); }
 
   [[nodiscard]] const std::vector<geom::Vec2>& initial_configuration() const { return initial_; }
   [[nodiscard]] const std::vector<ActivationRecord>& records() const { return records_; }

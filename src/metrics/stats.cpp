@@ -6,6 +6,7 @@
 
 #include "core/spatial_index.hpp"
 #include "core/visibility.hpp"
+#include "metrics/online.hpp"
 #include "geometry/convex_hull.hpp"
 #include "geometry/smallest_enclosing_circle.hpp"
 
@@ -95,6 +96,12 @@ std::vector<ConfigurationStats> stats_over_time(const core::Trace& trace,
 }
 
 ConvergenceReport analyze(const core::Trace& trace, double v, double epsilon) {
+  ConvergenceAccumulator acc(trace.initial_configuration(), v, epsilon);
+  for (const core::ActivationRecord& rec : trace.records()) acc.add(rec);
+  return acc.finish();
+}
+
+ConvergenceReport analyze_rescan(const core::Trace& trace, double v, double epsilon) {
   ConvergenceReport rep;
   rep.activations = trace.records().size();
   const auto& initial = trace.initial_configuration();

@@ -9,9 +9,12 @@
 #include <thread>
 #include <unordered_map>
 
+#include "core/trace_sink.hpp"
 #include "run/checkpoint.hpp"
 #include "run/exit_codes.hpp"
 #include "run/instantiate.hpp"
+#include "trace/online_metrics.hpp"
+#include "trace/stream_writer.hpp"
 
 namespace cohesion::run {
 
@@ -50,9 +53,46 @@ RunOutcome execute(const ExpandedRun& run,
   try {
     RunInstance inst = instantiate(run.spec);
     out.n = inst.initial.size();
-    out.converged = inst.engine->run_until(run.spec.stop);
-    out.report = metrics::analyze(inst.engine->trace(), run.spec.visibility_radius,
+    if (run.spec.trace.mode == "memory") {
+      out.converged = inst.engine->run_until(run.spec.stop);
+      out.report = metrics::analyze(inst.engine->trace(), run.spec.visibility_radius,
+                                    run.spec.stop.epsilon);
+    } else {
+      // Bounded-memory path: the engine materializes no Trace; metrics fold
+      // online and (in stream mode) every record is framed to disk. The
+      // online report is bit-identical to the memory path's by the
+      // ConvergenceAccumulator contract.
+      const std::uint64_t fp = spec_fingerprint(run.spec);
+      trace::OnlineMetrics online(inst.initial, run.spec.visibility_radius,
                                   run.spec.stop.epsilon);
+      std::optional<trace::StreamTraceWriter> writer;
+      std::vector<core::TraceSink*> sinks;
+      if (run.spec.trace.mode == "stream") {
+        if (run.spec.trace.path.empty()) {
+          throw std::runtime_error(
+              "trace.mode \"stream\" needs a destination: set trace.path in the spec "
+              "or pass --trace-dir to cohesion_run");
+        }
+        trace::StreamHeader header;
+        header.fingerprint = fp;
+        header.initial = inst.initial;
+        header.visibility_radius = run.spec.visibility_radius;
+        header.stop_epsilon = run.spec.stop.epsilon;
+        trace::StreamWriterOptions wopts;
+        wopts.flush_every_records = run.spec.trace.flush_every;
+        wopts.index_every_records = run.spec.trace.index_every;
+        writer.emplace(run.spec.trace.path, std::move(header), wopts);
+        sinks.push_back(&*writer);
+        out.trace_path = run.spec.trace.path;
+        out.trace_fingerprint = fingerprint_hex(fp);
+      }
+      sinks.push_back(&online);
+      core::TeeSink tee(std::move(sinks));
+      inst.engine->set_trace_sink(&tee);
+      out.converged = inst.engine->run_until(run.spec.stop);
+      tee.finish();
+      out.report = online.report();
+    }
     if (trace_metric) out.custom = trace_metric(run.spec, *inst.engine);
   } catch (const std::exception& e) {
     out.error = e.what();
@@ -120,6 +160,10 @@ Json RunOutcome::to_json() const {
   j.set("activations", report.activations);
   j.set("worst_stretch", report.worst_stretch);
   j.set("custom", custom);
+  if (!trace_path.empty()) {
+    j.set("trace_path", trace_path);
+    j.set("trace_fingerprint", trace_fingerprint);
+  }
   return j;
 }
 
@@ -146,6 +190,8 @@ RunOutcome RunOutcome::from_json(const Json& j) {
   o.report.activations = static_cast<std::size_t>(j.at("activations").as_uint());
   o.report.worst_stretch = j.at("worst_stretch").as_double();
   o.custom = j.at("custom").as_double();
+  o.trace_path = j.string_or("trace_path", "");
+  o.trace_fingerprint = j.string_or("trace_fingerprint", "");
   return o;
 }
 

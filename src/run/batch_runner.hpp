@@ -47,6 +47,12 @@ struct RunOutcome {
   bool skipped = false;          ///< elided by EarlyStop; carries no report
   metrics::ConvergenceReport report;
   double custom = 0.0;           ///< trace-metric hook result (0 if no hook)
+  /// Stream-mode runs: where the activation stream was written and the
+  /// run's spec fingerprint (run::fingerprint_hex), the identity
+  /// cohesion_replay validates against. Empty for memory/off modes —
+  /// serialized only when set, so existing reports keep their bytes.
+  std::string trace_path;
+  std::string trace_fingerprint;
   std::string error;
   double wall_seconds = 0.0;     ///< non-deterministic; excluded from reports
 

@@ -1,5 +1,7 @@
 #include "run/instantiate.hpp"
 
+#include <stdexcept>
+
 #include "run/registry.hpp"
 
 namespace cohesion::run {
@@ -19,6 +21,15 @@ RunInstance instantiate(const RunSpec& spec) {
   inst.config.seed = seeds.engine;
   inst.config.use_spatial_index = spec.use_spatial_index;
   inst.config.incremental_index = spec.incremental_index;
+  if (spec.trace.mode != "memory") {
+    if (!spec.use_spatial_index) {
+      throw std::runtime_error(
+          "trace.mode \"" + spec.trace.mode +
+          "\" requires use_spatial_index: the reference scan path reconstructs positions "
+          "from the in-memory Trace it would no longer have");
+    }
+    inst.config.record_history = false;
+  }
   inst.engine = std::make_unique<core::Engine>(inst.initial, *inst.algorithm, *inst.scheduler,
                                                inst.config);
   return inst;

@@ -49,6 +49,35 @@ FactorySpec FactorySpec::from_json(const Json& j, const std::string& fallback_ty
   return f;
 }
 
+Json TraceSpec::to_json() const {
+  Json j = Json::object();
+  j.set("mode", mode);
+  if (!path.empty()) j.set("path", path);
+  if (flush_every != 4096) j.set("flush_every", flush_every);
+  if (index_every != 65536) j.set("index_every", index_every);
+  return j;
+}
+
+TraceSpec TraceSpec::from_json(const Json& j) {
+  TraceSpec t;
+  if (j.is_string()) {
+    // Shorthand: "stream" == {"mode": "stream"}.
+    t.mode = j.as_string();
+  } else if (j.is_object()) {
+    t.mode = j.string_or("mode", t.mode);
+    t.path = j.string_or("path", t.path);
+    t.flush_every = static_cast<std::size_t>(j.uint_or("flush_every", t.flush_every));
+    t.index_every = static_cast<std::size_t>(j.uint_or("index_every", t.index_every));
+  } else {
+    throw std::runtime_error("trace must be a JSON object or mode string");
+  }
+  if (t.mode != "memory" && t.mode != "stream" && t.mode != "off") {
+    throw std::runtime_error("trace.mode must be \"memory\", \"stream\" or \"off\" (got \"" +
+                             t.mode + "\")");
+  }
+  return t;
+}
+
 Json RunSpec::to_json() const {
   Json j = Json::object();
   j.set("name", name);
@@ -71,6 +100,9 @@ Json RunSpec::to_json() const {
   stop_j.set("check_every", stop.check_every);
   stop_j.set("max_time", stop.max_time);
   j.set("stop", stop_j);
+  // Only a non-default block is echoed: existing memory-mode specs keep
+  // their exact bytes (and thus their checkpoint fingerprints).
+  if (!trace.is_default()) j.set("trace", trace.to_json());
   return j;
 }
 
@@ -98,7 +130,27 @@ RunSpec RunSpec::from_json(const Json& j) {
     s.stop.check_every = static_cast<std::size_t>(st->uint_or("check_every", s.stop.check_every));
     s.stop.max_time = st->number_or("max_time", s.stop.max_time);
   }
+  if (const Json* t = j.find("trace")) s.trace = TraceSpec::from_json(*t);
   return s;
+}
+
+std::uint64_t spec_fingerprint(const RunSpec& spec) {
+  RunSpec hashed = spec;
+  hashed.trace = TraceSpec{};  // capture config is not part of the run identity
+  const std::string doc = hashed.to_json().dump();
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a 64
+  for (const char c : doc) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string fingerprint_hex(std::uint64_t fp) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (std::size_t i = 16; i-- > 0; fp >>= 4) out[i] = digits[fp & 0xF];
+  return out;
 }
 
 Json EarlyStop::to_json() const {
@@ -166,6 +218,28 @@ std::string axis_label(const SweepAxis& axis, const Json& v) {
   return leaf + "=" + value_label(v);
 }
 
+void replace_all(std::string& s, const std::string& token, const std::string& value) {
+  for (std::size_t at = s.find(token); at != std::string::npos; at = s.find(token, at)) {
+    s.replace(at, token.size(), value);
+    at += value.size();
+  }
+}
+
+/// Resolve a TraceSpec path template for one expanded run. {name} is
+/// sanitized ('/' and '#' from sweep labels would fragment the filename).
+std::string substitute_trace_path(std::string templ, const ExpandedRun& run) {
+  std::string safe_name = run.spec.name;
+  for (char& c : safe_name) {
+    if (c == '/' || c == '#') c = '_';
+  }
+  replace_all(templ, "{name}", safe_name);
+  replace_all(templ, "{index}", std::to_string(run.index));
+  replace_all(templ, "{variant}", std::to_string(run.variant));
+  replace_all(templ, "{repeat}", std::to_string(run.repeat));
+  replace_all(templ, "{seed}", std::to_string(run.spec.seed));
+  return templ;
+}
+
 }  // namespace
 
 std::size_t ExperimentSpec::variant_count() const {
@@ -210,6 +284,9 @@ std::vector<ExpandedRun> ExperimentSpec::expand() const {
       // from the base); derivation applies only to unpinned variants.
       if (resolved.seed == base.seed) {
         run.spec.seed = derive_seeds(base.seed, run.index).run;
+      }
+      if (!run.spec.trace.path.empty()) {
+        run.spec.trace.path = substitute_trace_path(run.spec.trace.path, run);
       }
       out.push_back(std::move(run));
     }

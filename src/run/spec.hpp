@@ -56,6 +56,33 @@ struct FactorySpec {
   static FactorySpec from_json(const Json& j, const std::string& fallback_type);
 };
 
+/// How a run's activation history is captured.
+///
+///   memory — materialize the in-memory core::Trace (the default and the
+///            bit-identical reference path)
+///   stream — bounded-memory: no in-memory history; records are framed to
+///            `path` by trace::StreamTraceWriter and metrics fold online
+///   off    — bounded-memory, no capture at all (metrics still fold online)
+///
+/// `path` is a template; expand() substitutes {name}, {index}, {seed},
+/// {variant} and {repeat} per run ({name} with '/' and '#' mapped to '_'
+/// so labels stay filesystem-safe). Serialized into the spec JSON only
+/// when non-default, so existing memory-mode specs, reports and
+/// fingerprints keep their bytes.
+struct TraceSpec {
+  std::string mode = "memory";
+  std::string path;                 ///< stream mode: output path template
+  std::size_t flush_every = 4096;   ///< writer flush cadence (records)
+  std::size_t index_every = 65536;  ///< 'X' index frame cadence; 0 disables
+
+  [[nodiscard]] bool is_default() const {
+    return mode == "memory" && path.empty() && flush_every == 4096 && index_every == 65536;
+  }
+
+  [[nodiscard]] Json to_json() const;
+  static TraceSpec from_json(const Json& j);
+};
+
 /// Complete description of one run. Defaults reproduce the quickstart
 /// setup: KKNPS under k-Async on a random connected configuration.
 struct RunSpec {
@@ -72,10 +99,20 @@ struct RunSpec {
   bool use_spatial_index = true;
   bool incremental_index = true;
   core::StopCondition stop;  ///< predicate is not serialized
+  TraceSpec trace;           ///< history capture; default preserves old bytes
 
   [[nodiscard]] Json to_json() const;
   static RunSpec from_json(const Json& j);
 };
+
+/// FNV-1a 64 of the resolved spec JSON — the run identity stamped into
+/// stream headers, reports and checkpoints. The trace block is excluded
+/// before hashing: capture configuration never changes the dynamics, so a
+/// stream recorded in any mode of the same physical run carries the same
+/// fingerprint as the in-memory reference.
+[[nodiscard]] std::uint64_t spec_fingerprint(const RunSpec& spec);
+/// 16-hex-digit rendering of a fingerprint (zero-padded, lowercase).
+[[nodiscard]] std::string fingerprint_hex(std::uint64_t fp);
 
 /// One axis of a sweep. `path` is a dotted path into the RunSpec JSON
 /// ("scheduler.params.k", "n", ...); each value is substituted at that

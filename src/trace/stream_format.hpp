@@ -1,0 +1,117 @@
+// The on-disk activation-stream format shared by StreamTraceWriter,
+// StreamTraceReader and the cohesion_replay tool.
+//
+// Layout (all integers and doubles little-endian; IEEE-754 binary64):
+//
+//   header:
+//     8  bytes  magic "COHTRACE"
+//     4  bytes  u32 format version (kFormatVersion)
+//     4  bytes  u32 reserved (0)
+//     8  bytes  u64 run fingerprint (FNV-1a 64 of the resolved RunSpec JSON;
+//               0 when the producer has no spec)
+//     8  bytes  u64 robot count n
+//     8  bytes  f64 visibility radius
+//     8  bytes  f64 convergence epsilon
+//     16n bytes n x (f64 x, f64 y) initial configuration
+//     4  bytes  u32 FNV-1a 32 checksum of every preceding header byte
+//
+//   then a sequence of frames, each:
+//     1  byte   frame type ('A' activation, 'X' index, 'E' end)
+//     4  bytes  u32 payload size
+//     payload
+//     4  bytes  u32 FNV-1a 32 checksum of type + size + payload
+//
+//   'A' payload (one committed ActivationRecord, 96 bytes):
+//     u64 robot, f64 t_look, f64 t_move_start, f64 t_move_end,
+//     f64 realized_fraction, f64 from.x, f64 from.y, f64 planned.x,
+//     f64 planned.y, f64 realized.x, f64 realized.y, u64 seen
+//
+//   'X' payload (periodic index frame, 24 bytes):
+//     u64 activation count before this frame,
+//     u64 byte offset of the previous 'X' frame (0 if none),
+//     f64 max committed t_move_end so far
+//
+//   'E' payload (end-of-stream frame, 24 bytes):
+//     u64 total activation count,
+//     u64 byte offset of the last 'X' frame (0 if none),
+//     f64 end time (max committed t_move_end)
+//
+// Crash safety comes from the framing alone: frames are appended atomically
+// from the reader's point of view (a torn write leaves a short or
+// checksum-failing tail), so a reader always recovers exactly the committed
+// prefix and can report whether the stream was closed cleanly ('E' frame
+// present). The backward 'X' chain anchored in the 'E' frame supports
+// seeking on cleanly closed streams without a forward scan.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+static_assert(std::endian::native == std::endian::little,
+              "activation-stream format assumes a little-endian host");
+static_assert(sizeof(double) == 8, "activation-stream format assumes 8-byte IEEE doubles");
+
+namespace cohesion::trace {
+
+inline constexpr char kStreamMagic[8] = {'C', 'O', 'H', 'T', 'R', 'A', 'C', 'E'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+inline constexpr std::uint8_t kFrameActivation = 0x41;  // 'A'
+inline constexpr std::uint8_t kFrameIndex = 0x58;       // 'X'
+inline constexpr std::uint8_t kFrameEnd = 0x45;         // 'E'
+
+inline constexpr std::size_t kActivationPayloadSize = 96;
+inline constexpr std::size_t kIndexPayloadSize = 24;
+inline constexpr std::size_t kEndPayloadSize = 24;
+/// type + size + payload + checksum.
+inline constexpr std::size_t frame_size(std::size_t payload) { return 1 + 4 + payload + 4; }
+
+/// FNV-1a 32-bit, the frame/header checksum. Deliberately cheap: it guards
+/// against torn writes and bit rot, not adversaries.
+inline std::uint32_t fnv1a32(const char* data, std::size_t size,
+                             std::uint32_t h = 2166136261u) {
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+/// Little-endian appenders into a byte buffer (memcpy: the host is
+/// little-endian by the static_assert above).
+inline void put_u32(std::vector<char>& out, std::uint32_t v) {
+  const std::size_t at = out.size();
+  out.resize(at + 4);
+  std::memcpy(out.data() + at, &v, 4);
+}
+inline void put_u64(std::vector<char>& out, std::uint64_t v) {
+  const std::size_t at = out.size();
+  out.resize(at + 8);
+  std::memcpy(out.data() + at, &v, 8);
+}
+inline void put_f64(std::vector<char>& out, double v) {
+  const std::size_t at = out.size();
+  out.resize(at + 8);
+  std::memcpy(out.data() + at, &v, 8);
+}
+
+inline std::uint32_t get_u32(const char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+inline std::uint64_t get_u64(const char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+inline double get_f64(const char* p) {
+  double v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+}  // namespace cohesion::trace

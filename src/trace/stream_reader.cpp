@@ -1,0 +1,224 @@
+#include "trace/stream_reader.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "trace/stream_format.hpp"
+
+namespace cohesion::trace {
+
+namespace {
+
+/// Fixed-size header prefix: magic + version + reserved + fingerprint +
+/// robot count + visibility radius + epsilon.
+constexpr std::size_t kHeaderPrefixSize = 8 + 4 + 4 + 8 + 8 + 8 + 8;
+
+[[nodiscard]] std::size_t expected_payload(std::uint8_t type) {
+  switch (type) {
+    case kFrameActivation: return kActivationPayloadSize;
+    case kFrameIndex: return kIndexPayloadSize;
+    case kFrameEnd: return kEndPayloadSize;
+    default: return static_cast<std::size_t>(-1);
+  }
+}
+
+}  // namespace
+
+StreamTraceReader::StreamTraceReader(std::string path) : path_(std::move(path)) {
+  in_.open(path_, std::ios::binary);
+  if (!in_) throw std::runtime_error("StreamTraceReader: cannot open '" + path_ + "'");
+  in_.seekg(0, std::ios::end);
+  const std::uint64_t file_size = static_cast<std::uint64_t>(in_.tellg());
+  in_.seekg(0, std::ios::beg);
+
+  std::vector<char> hdr(kHeaderPrefixSize);
+  if (file_size < kHeaderPrefixSize || !read_exact(hdr.data(), hdr.size())) {
+    throw std::runtime_error("StreamTraceReader: '" + path_ +
+                             "' is too short to hold an activation-stream header");
+  }
+  if (!std::equal(kStreamMagic, kStreamMagic + sizeof(kStreamMagic), hdr.data())) {
+    throw std::runtime_error("StreamTraceReader: '" + path_ +
+                             "' is not an activation stream (magic mismatch; expected COHTRACE)");
+  }
+  const std::uint32_t version = get_u32(hdr.data() + 8);
+  if (version != kFormatVersion) {
+    throw std::runtime_error("StreamTraceReader: '" + path_ + "' has format version " +
+                             std::to_string(version) + " but this build reads version " +
+                             std::to_string(kFormatVersion) +
+                             " — re-record the stream or use a matching build");
+  }
+  header_.fingerprint = get_u64(hdr.data() + 16);
+  const std::uint64_t n = get_u64(hdr.data() + 24);
+  header_.visibility_radius = get_f64(hdr.data() + 32);
+  header_.stop_epsilon = get_f64(hdr.data() + 40);
+
+  const std::uint64_t full_header = kHeaderPrefixSize + 16 * n + 4;
+  if (file_size < full_header) {
+    throw std::runtime_error("StreamTraceReader: '" + path_ +
+                             "' header is truncated (declares " + std::to_string(n) +
+                             " robots but the file ends inside the initial configuration)");
+  }
+  hdr.resize(full_header);
+  if (!read_exact(hdr.data() + kHeaderPrefixSize, full_header - kHeaderPrefixSize)) {
+    throw std::runtime_error("StreamTraceReader: short read in '" + path_ + "' header");
+  }
+  const std::uint32_t stored = get_u32(hdr.data() + full_header - 4);
+  const std::uint32_t computed = fnv1a32(hdr.data(), full_header - 4);
+  if (stored != computed) {
+    throw std::runtime_error("StreamTraceReader: '" + path_ +
+                             "' header checksum mismatch — the file is corrupt");
+  }
+  header_.initial.resize(n);
+  for (std::uint64_t r = 0; r < n; ++r) {
+    header_.initial[r].x = get_f64(hdr.data() + kHeaderPrefixSize + 16 * r);
+    header_.initial[r].y = get_f64(hdr.data() + kHeaderPrefixSize + 16 * r + 8);
+  }
+  data_begin_ = full_header;
+}
+
+bool StreamTraceReader::read_exact(char* out, std::size_t size) {
+  in_.read(out, static_cast<std::streamsize>(size));
+  return static_cast<std::size_t>(in_.gcount()) == size;
+}
+
+bool StreamTraceReader::next(core::ActivationRecord& rec) {
+  if (done_) return false;
+  char head[5];
+  char payload[kActivationPayloadSize > kIndexPayloadSize ? kActivationPayloadSize
+                                                          : kIndexPayloadSize];
+  for (;;) {
+    if (!read_exact(head, sizeof(head))) {
+      // EOF (or a torn 5-byte frame head) without an 'E' frame: the writer
+      // stopped mid-stream; everything yielded so far is the committed
+      // prefix.
+      done_ = true;
+      truncated_ = true;
+      return false;
+    }
+    const std::uint8_t type = static_cast<std::uint8_t>(head[0]);
+    const std::uint32_t size = get_u32(head + 1);
+    if (size != expected_payload(type)) {  // unknown type or wrong size: torn/corrupt
+      done_ = true;
+      truncated_ = true;
+      return false;
+    }
+    char tail[4];
+    if (!read_exact(payload, size) || !read_exact(tail, sizeof(tail))) {
+      done_ = true;
+      truncated_ = true;
+      return false;
+    }
+    std::uint32_t checksum = fnv1a32(head, sizeof(head));
+    checksum = fnv1a32(payload, size, checksum);
+    if (checksum != get_u32(tail)) {
+      done_ = true;
+      truncated_ = true;
+      return false;
+    }
+
+    if (type == kFrameActivation) {
+      rec.activation.robot = static_cast<core::RobotId>(get_u64(payload));
+      rec.activation.t_look = get_f64(payload + 8);
+      rec.activation.t_move_start = get_f64(payload + 16);
+      rec.activation.t_move_end = get_f64(payload + 24);
+      rec.activation.realized_fraction = get_f64(payload + 32);
+      rec.from = {get_f64(payload + 40), get_f64(payload + 48)};
+      rec.planned = {get_f64(payload + 56), get_f64(payload + 64)};
+      rec.realized = {get_f64(payload + 72), get_f64(payload + 80)};
+      rec.seen = static_cast<std::size_t>(get_u64(payload + 88));
+      ++records_read_;
+      end_time_ = std::max(end_time_, rec.activation.t_move_end);
+      return true;
+    }
+    if (type == kFrameEnd) {
+      done_ = true;
+      clean_ = true;
+      end_time_ = std::max(end_time_, get_f64(payload + 16));
+      return false;
+    }
+    // 'X' index frame: seek metadata only; skip.
+  }
+}
+
+std::optional<StreamTraceReader::Footer> StreamTraceReader::read_footer(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  in.seekg(0, std::ios::end);
+  const auto file_size = in.tellg();
+  constexpr std::streamoff kEndFrame = static_cast<std::streamoff>(frame_size(kEndPayloadSize));
+  if (file_size < kEndFrame) return std::nullopt;
+  in.seekg(file_size - kEndFrame);
+  char buf[frame_size(kEndPayloadSize)];
+  in.read(buf, sizeof(buf));
+  if (static_cast<std::size_t>(in.gcount()) != sizeof(buf)) return std::nullopt;
+  if (static_cast<std::uint8_t>(buf[0]) != kFrameEnd) return std::nullopt;
+  if (get_u32(buf + 1) != kEndPayloadSize) return std::nullopt;
+  if (fnv1a32(buf, 5 + kEndPayloadSize) != get_u32(buf + 5 + kEndPayloadSize)) {
+    return std::nullopt;
+  }
+  Footer f;
+  f.total_records = get_u64(buf + 5);
+  f.last_index_offset = get_u64(buf + 13);
+  f.end_time = get_f64(buf + 21);
+  return f;
+}
+
+void StreamTraceReader::restart_after_header() {
+  in_.clear();
+  in_.seekg(static_cast<std::streamoff>(data_begin_));
+  records_read_ = 0;
+  end_time_ = 0.0;
+  done_ = clean_ = truncated_ = false;
+}
+
+bool StreamTraceReader::seek_to(std::uint64_t index) {
+  // Walk the backward 'X' chain of a cleanly closed stream to the last
+  // index frame at or before `index`, then scan the remainder forward.
+  std::uint64_t base = 0;
+  std::uint64_t base_offset = data_begin_;
+  if (const auto footer = read_footer(path_)) {
+    std::uint64_t offset = footer->last_index_offset;
+    char buf[frame_size(kIndexPayloadSize)];
+    while (offset != 0) {
+      in_.clear();
+      in_.seekg(static_cast<std::streamoff>(offset));
+      in_.read(buf, sizeof(buf));
+      if (static_cast<std::size_t>(in_.gcount()) != sizeof(buf)) break;
+      if (static_cast<std::uint8_t>(buf[0]) != kFrameIndex ||
+          get_u32(buf + 1) != kIndexPayloadSize ||
+          fnv1a32(buf, 5 + kIndexPayloadSize) != get_u32(buf + 5 + kIndexPayloadSize)) {
+        break;
+      }
+      const std::uint64_t count = get_u64(buf + 5);
+      if (count <= index) {
+        base = count;
+        base_offset = offset + sizeof(buf);  // first frame after the 'X'
+        break;
+      }
+      offset = get_u64(buf + 13);  // previous 'X' frame
+    }
+  }
+  restart_after_header();
+  if (base_offset != data_begin_) {
+    in_.seekg(static_cast<std::streamoff>(base_offset));
+    records_read_ = base;
+  }
+  core::ActivationRecord rec;
+  while (records_read_ < index) {
+    if (!next(rec)) return false;
+  }
+  // Verify record `index` actually exists: peek one frame and rewind, so
+  // seeking to (or past) the end reports false instead of parking the
+  // cursor on the 'E' frame and claiming success.
+  const std::streamoff pos = in_.tellg();
+  const core::Time saved_end = end_time_;
+  if (!next(rec)) return false;
+  in_.clear();
+  in_.seekg(pos);
+  --records_read_;
+  end_time_ = saved_end;
+  return true;
+}
+
+}  // namespace cohesion::trace

@@ -1,0 +1,84 @@
+// Single-pass activation-stream reader with torn-tail recovery.
+//
+// The reader validates the header (magic, version, checksum) up front and
+// then yields activation records one frame at a time. Any short read or
+// checksum mismatch ends iteration and marks the stream truncated — the
+// records already yielded are exactly the committed prefix, which is all a
+// crashed writer ever durably produced. A cleanly closed stream ends with
+// an 'E' frame carrying the record count and end time; on such streams
+// seek_to() jumps near a target record via the backward 'X' index chain
+// instead of scanning from the start.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "core/activation.hpp"
+#include "core/types.hpp"
+#include "trace/stream_writer.hpp"  // StreamHeader
+
+namespace cohesion::trace {
+
+class StreamTraceReader {
+ public:
+  /// Opens and validates the header. Throws std::runtime_error with an
+  /// actionable message on a missing file, foreign magic, unsupported
+  /// version, or corrupt/truncated header.
+  explicit StreamTraceReader(std::string path);
+
+  StreamTraceReader(const StreamTraceReader&) = delete;
+  StreamTraceReader& operator=(const StreamTraceReader&) = delete;
+
+  [[nodiscard]] const StreamHeader& header() const { return header_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Yield the next activation record. Returns false at end of stream —
+  /// clean ('E' frame) or torn (see truncated()); false forever after.
+  bool next(core::ActivationRecord& rec);
+
+  /// True iff iteration ended at a torn tail (short frame, checksum
+  /// mismatch, or missing 'E' frame). Meaningful once next() returned false.
+  [[nodiscard]] bool truncated() const { return truncated_; }
+  /// True iff the 'E' end frame was reached.
+  [[nodiscard]] bool closed_cleanly() const { return clean_; }
+
+  /// Records yielded so far (== committed prefix length at end of stream).
+  [[nodiscard]] std::uint64_t records_read() const { return records_read_; }
+  /// Max committed t_move_end over yielded records; on a cleanly closed
+  /// stream this equals the 'E' frame's end time once iteration finishes.
+  [[nodiscard]] core::Time end_time() const { return end_time_; }
+
+  /// The 'E' frame of a cleanly closed stream, readable without a forward
+  /// scan. nullopt if the file is missing, torn, or not an activation
+  /// stream.
+  struct Footer {
+    std::uint64_t total_records = 0;
+    std::uint64_t last_index_offset = 0;  // 0: stream carries no 'X' frames
+    core::Time end_time = 0.0;
+  };
+  [[nodiscard]] static std::optional<Footer> read_footer(const std::string& path);
+
+  /// Reposition so the next next() yields record `index` (0-based). Uses
+  /// the 'X' chain of a cleanly closed stream to skip whole index spans;
+  /// falls back to a forward scan from the current or initial position.
+  /// Returns false (cursor at end) if the stream holds fewer records.
+  bool seek_to(std::uint64_t index);
+
+ private:
+  [[nodiscard]] bool read_exact(char* out, std::size_t size);
+  void restart_after_header();
+
+  std::string path_;
+  std::ifstream in_;
+  StreamHeader header_;
+  std::uint64_t data_begin_ = 0;  // byte offset of the first frame
+  std::uint64_t records_read_ = 0;
+  core::Time end_time_ = 0.0;
+  bool done_ = false;
+  bool clean_ = false;
+  bool truncated_ = false;
+};
+
+}  // namespace cohesion::trace

@@ -1,0 +1,116 @@
+#include "trace/stream_writer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "trace/stream_format.hpp"
+
+namespace cohesion::trace {
+
+StreamTraceWriter::StreamTraceWriter(std::string path, StreamHeader header,
+                                     StreamWriterOptions options)
+    : path_(std::move(path)), options_(options) {
+  if (options_.flush_every_records == 0) options_.flush_every_records = 1;
+  out_.open(path_, std::ios::binary | std::ios::trunc);
+  if (!out_) {
+    throw std::runtime_error("StreamTraceWriter: cannot open '" + path_ + "' for writing");
+  }
+
+  std::vector<char> hdr;
+  hdr.insert(hdr.end(), kStreamMagic, kStreamMagic + sizeof(kStreamMagic));
+  put_u32(hdr, kFormatVersion);
+  put_u32(hdr, 0);  // reserved
+  put_u64(hdr, header.fingerprint);
+  put_u64(hdr, static_cast<std::uint64_t>(header.initial.size()));
+  put_f64(hdr, header.visibility_radius);
+  put_f64(hdr, header.stop_epsilon);
+  for (const geom::Vec2& p : header.initial) {
+    put_f64(hdr, p.x);
+    put_f64(hdr, p.y);
+  }
+  put_u32(hdr, fnv1a32(hdr.data(), hdr.size()));
+  out_.write(hdr.data(), static_cast<std::streamsize>(hdr.size()));
+  bytes_committed_ = hdr.size();
+  if (!out_) throw std::runtime_error("StreamTraceWriter: header write to '" + path_ + "' failed");
+}
+
+StreamTraceWriter::~StreamTraceWriter() {
+  if (!finished_) {
+    try {
+      finish();
+    } catch (...) {
+      // Destructor cleanup path: the torn tail is exactly what the framing
+      // is designed to survive.
+    }
+  }
+}
+
+void StreamTraceWriter::frame(std::uint8_t type, const std::vector<char>& payload) {
+  const std::size_t at = buf_.size();
+  buf_.push_back(static_cast<char>(type));
+  put_u32(buf_, static_cast<std::uint32_t>(payload.size()));
+  buf_.insert(buf_.end(), payload.begin(), payload.end());
+  put_u32(buf_, fnv1a32(buf_.data() + at, buf_.size() - at));
+}
+
+void StreamTraceWriter::flush_buffer() {
+  if (!buf_.empty()) {
+    out_.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+    bytes_committed_ += buf_.size();
+    buf_.clear();
+  }
+  out_.flush();
+  if (!out_) throw std::runtime_error("StreamTraceWriter: write to '" + path_ + "' failed");
+  records_at_flush_ = records_;
+}
+
+void StreamTraceWriter::emit_index_frame() {
+  // The offset recorded for the chain is where this frame itself begins.
+  const std::uint64_t offset = bytes_committed_ + buf_.size();
+  payload_.clear();
+  put_u64(payload_, records_);
+  put_u64(payload_, last_index_offset_);
+  put_f64(payload_, end_time_);
+  frame(kFrameIndex, payload_);
+  last_index_offset_ = offset;
+}
+
+void StreamTraceWriter::append(const core::ActivationRecord& rec) {
+  if (finished_) throw std::logic_error("StreamTraceWriter: append after finish");
+  payload_.clear();
+  put_u64(payload_, static_cast<std::uint64_t>(rec.activation.robot));
+  put_f64(payload_, rec.activation.t_look);
+  put_f64(payload_, rec.activation.t_move_start);
+  put_f64(payload_, rec.activation.t_move_end);
+  put_f64(payload_, rec.activation.realized_fraction);
+  put_f64(payload_, rec.from.x);
+  put_f64(payload_, rec.from.y);
+  put_f64(payload_, rec.planned.x);
+  put_f64(payload_, rec.planned.y);
+  put_f64(payload_, rec.realized.x);
+  put_f64(payload_, rec.realized.y);
+  put_u64(payload_, static_cast<std::uint64_t>(rec.seen));
+  frame(kFrameActivation, payload_);
+  ++records_;
+  end_time_ = std::max(end_time_, rec.activation.t_move_end);
+
+  if (options_.index_every_records > 0 && records_ % options_.index_every_records == 0) {
+    emit_index_frame();
+  }
+  if (records_ - records_at_flush_ >= options_.flush_every_records) flush_buffer();
+}
+
+void StreamTraceWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  payload_.clear();
+  put_u64(payload_, records_);
+  put_u64(payload_, last_index_offset_);
+  put_f64(payload_, end_time_);
+  frame(kFrameEnd, payload_);
+  flush_buffer();
+  out_.close();
+  if (!out_) throw std::runtime_error("StreamTraceWriter: closing '" + path_ + "' failed");
+}
+
+}  // namespace cohesion::trace

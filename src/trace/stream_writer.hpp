@@ -1,0 +1,80 @@
+// Bounded-memory activation-stream writer: a TraceSink that frames every
+// committed ActivationRecord into the on-disk format of stream_format.hpp.
+//
+// Writes are buffered (flush cadence in records, configurable) and each
+// frame carries its own checksum, so a crash mid-run loses at most the
+// unflushed tail and never leaves an undetectably corrupt file: the reader
+// stops at the first short or checksum-failing frame and reports the stream
+// as truncated. Periodic 'X' index frames (optional) chain backwards and
+// are anchored in the final 'E' frame for seeking on cleanly closed files.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/trace_sink.hpp"
+#include "core/types.hpp"
+#include "geometry/vec2.hpp"
+
+namespace cohesion::trace {
+
+/// Everything the header records about the run. The fingerprint ties the
+/// stream to a resolved RunSpec (run::spec_fingerprint); readers refuse to
+/// replay against a mismatching spec.
+struct StreamHeader {
+  std::uint64_t fingerprint = 0;
+  std::vector<geom::Vec2> initial;
+  double visibility_radius = 1.0;
+  double stop_epsilon = 0.0;
+};
+
+struct StreamWriterOptions {
+  /// Flush the in-memory frame buffer to the OS every this many records
+  /// (also bounds writer memory). >= 1.
+  std::size_t flush_every_records = 4096;
+  /// Emit an 'X' index frame every this many records; 0 disables indexing.
+  std::size_t index_every_records = 65536;
+};
+
+class StreamTraceWriter final : public core::TraceSink {
+ public:
+  /// Creates/truncates `path` and writes the header immediately. Throws
+  /// std::runtime_error if the file cannot be opened.
+  StreamTraceWriter(std::string path, StreamHeader header, StreamWriterOptions options = {});
+  /// Closes the stream cleanly if finish() was never called. Prefer calling
+  /// finish() explicitly — a destructor cannot report I/O errors.
+  ~StreamTraceWriter() override;
+
+  StreamTraceWriter(const StreamTraceWriter&) = delete;
+  StreamTraceWriter& operator=(const StreamTraceWriter&) = delete;
+
+  void append(const core::ActivationRecord& rec) override;
+  /// Write the 'E' end frame and flush. Idempotent; appending after is an
+  /// error. Throws std::runtime_error if the underlying stream failed.
+  void finish() override;
+
+  [[nodiscard]] std::uint64_t records_written() const { return records_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] bool finished() const { return finished_; }
+
+ private:
+  void emit_index_frame();
+  void flush_buffer();
+  void frame(std::uint8_t type, const std::vector<char>& payload);
+
+  std::string path_;
+  StreamWriterOptions options_;
+  std::ofstream out_;
+  std::vector<char> buf_;      // pending frame bytes
+  std::vector<char> payload_;  // per-frame scratch
+  std::uint64_t records_ = 0;
+  std::uint64_t bytes_committed_ = 0;  // bytes already handed to the stream
+  std::uint64_t last_index_offset_ = 0;
+  std::uint64_t records_at_flush_ = 0;
+  core::Time end_time_ = 0.0;
+  bool finished_ = false;
+};
+
+}  // namespace cohesion::trace

@@ -55,9 +55,16 @@ for tool in tools/*.cpp; do
 done
 
 # Operator-facing CLI flags: documented in the runbook.
-for flag in --shard --checkpoint --resume --fsync-every --threads --out --no-timing; do
+for flag in --shard --checkpoint --resume --fsync-every --threads --out --no-timing \
+            --trace-dir --peak-rss; do
   grep -q -- "$flag" docs/operations.md ||
     complain "docs/operations.md does not document cohesion_run $flag"
+done
+
+# Replay-tool (cohesion_replay) flags: same rule.
+for flag in --check --expect-fingerprint --info --svg; do
+  grep -q -- "$flag" docs/operations.md ||
+    complain "docs/operations.md does not document cohesion_replay $flag"
 done
 
 # Supervisor (cohesion_launch) flags: same rule.
@@ -68,15 +75,22 @@ for flag in --shards --fault --lease-timeout --max-attempts --backoff-base --thr
 done
 
 # Spec-level schema fields: documented with the rest of the spec schema.
-for field in early_stop max_time incremental_index use_spatial_index; do
+for field in early_stop max_time incremental_index use_spatial_index trace \
+             flush_every index_every; do
   grep -q "$field" docs/experiments.md ||
     complain "docs/experiments.md does not document spec field $field"
 done
 
 # The run/ops determinism contracts live in the architecture doc.
-for phrase in shard-union resume fault-tolerance; do
+for phrase in shard-union resume fault-tolerance "streamed metrics"; do
   grep -qi "$phrase" docs/architecture.md ||
     complain "docs/architecture.md does not state the $phrase determinism contract"
+done
+
+# The trace-file format spec lives in the runbook.
+for phrase in COHTRACE cohtrace torn; do
+  grep -q "$phrase" docs/operations.md ||
+    complain "docs/operations.md does not cover the trace-file format ($phrase)"
 done
 
 for doc in docs/*.md; do

@@ -16,6 +16,14 @@
 //   cohesion_run sweep.json --checkpoint run.ckpt  # journal outcomes (JSONL)
 //   cohesion_run sweep.json --resume run.ckpt      # skip completed runs
 //   cohesion_run sweep.json --fsync-every 16       # journal fsync cadence
+//   cohesion_run sweep.json --trace-dir traces/    # stream every run's
+//                                                  # activations to
+//                                                  # traces/run_<index>.cohtrace
+//                                                  # (bounded-memory mode;
+//                                                  #  replay with
+//                                                  #  cohesion_replay)
+//   cohesion_run sweep.json --peak-rss             # report peak RSS (KB) on
+//                                                  # stderr after the batch
 //   cohesion_run --list                            # registry keys
 //
 // The spec is either a full ExperimentSpec ({"base": {...}, "sweep": [...],
@@ -33,9 +41,11 @@
 //   4  interrupted by SIGTERM/SIGINT: the checkpoint journal is flushed
 //      and well-formed; rerun with --resume to continue
 #include <signal.h>
+#include <sys/resource.h>
 
 #include <algorithm>
 #include <atomic>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -80,8 +90,17 @@ int usage(int code) {
   std::cout << "usage: cohesion_run <spec.json> [--threads N] [--out FILE] [--no-timing]\n"
                "                    [--shard I/N] [--checkpoint FILE | --resume FILE]\n"
                "                    [--fsync-every N] [--throttle-ms N]\n"
+               "                    [--trace-dir DIR] [--peak-rss]\n"
                "       cohesion_run --list\n";
   return code;
+}
+
+/// Peak resident set size in KB (Linux ru_maxrss unit), for the
+/// bounded-memory assertions in bench/run_benches.sh.
+long peak_rss_kb() {
+  struct rusage ru {};
+  getrusage(RUSAGE_SELF, &ru);
+  return ru.ru_maxrss;
 }
 
 }  // namespace
@@ -90,9 +109,11 @@ int main(int argc, char** argv) {
   std::string spec_path;
   std::string out_path;
   std::string shard_arg;
+  std::string trace_dir;
   run::BatchRunner::Options options;
   options.threads = 1;
   bool timing = true;
+  bool report_rss = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list") return list_registries();
@@ -142,6 +163,10 @@ int main(int argc, char** argv) {
       }
       options.checkpoint_path = argv[++i];
       options.resume = true;
+    } else if (arg == "--trace-dir" && i + 1 < argc) {
+      trace_dir = argv[++i];
+    } else if (arg == "--peak-rss") {
+      report_rss = true;
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (spec_path.empty() && !arg.starts_with("--")) {
@@ -170,6 +195,17 @@ int main(int argc, char** argv) {
     } else {
       experiment.base = run::RunSpec::from_json(doc);
       experiment.name = experiment.base.name;
+    }
+
+    if (!trace_dir.empty()) {
+      // Force bounded-memory streaming: every run writes its activation
+      // stream under the directory, keyed by global grid index (the path
+      // template resolves per run at expansion time).
+      std::error_code ec;
+      std::filesystem::create_directories(trace_dir, ec);
+      if (ec) throw run::TransientError("cannot create --trace-dir " + trace_dir);
+      experiment.base.trace.mode = "stream";
+      experiment.base.trace.path = trace_dir + "/run_{index}.cohtrace";
     }
 
     run::Shard shard;
@@ -215,6 +251,10 @@ int main(int argc, char** argv) {
       std::cerr << "report written: " << out_path << " (" << result.outcomes.size() << " runs, "
                 << result.threads << " threads, " << result.wall_seconds << " s)\n";
     }
+
+    // One machine-greppable line; ru_maxrss covers the whole process, which
+    // is exactly what a bounded-memory claim must bound.
+    if (report_rss) std::cerr << "peak_rss_kb: " << peak_rss_kb() << "\n";
 
     for (const run::RunOutcome& o : result.outcomes) {
       if (!o.error.empty()) {
