@@ -16,7 +16,12 @@
 # stream-trace mode (--trace-dir), asserts peak RSS under a fixed ceiling,
 # byte-compares the report against the in-memory reference run and the
 # cohesion_replay recomputation of the stream file, and records walls +
-# RSS under stream_sweep.
+# RSS under stream_sweep. A fifth stage exercises the content-addressed
+# result cache (cohesion_run --cache): the sweep cold into an empty
+# cache, fully warm, and with one axis edited — asserting warm and
+# mixed hit/miss reports byte-identical to their cold counterparts and
+# that exactly the edited variants recompute — and records the walls
+# under cache_sweep.
 #
 # Usage: bench/run_benches.sh [BUILD_DIR] [OUT_DIR]
 #   BUILD_DIR  cmake build tree containing the bench_* executables (default: build)
@@ -274,6 +279,86 @@ else
   echo "cohesion_run/cohesion_replay or bench/specs/stream_run.json missing; skipping stream sweep" >&2
 fi
 
+# Content-addressed result cache: the same sweep run cold into an empty
+# cache, then fully warm, then with one axis edited (k values [1,2] ->
+# [1,3]) both warm-over-the-cache and cold-without-cache. Contracts
+# (docs/architecture.md #11): warm reports byte-identical to cold ones,
+# and an edit recomputes exactly the changed variants — here 2 of 4
+# variants (32 of 64 runs) keep k=1 and must hit. All four runs use the
+# same binary back to back, so the cold/warm walls are comparable on a
+# drifting-clock host. Numbers land under cache_sweep.
+CACHE_JSON="$OUT_DIR/cache_sweep_timing.json"
+rm -f "$CACHE_JSON"
+if [ -x "$BUILD_DIR/cohesion_run" ] && [ -f bench/specs/kasync_sweep.json ]; then
+  echo "== cache sweep (cold vs warm vs edit-one-axis, shared cache dir)"
+  CACHE_DIR="$OUT_DIR/cache_sweep_dir"
+  rm -rf "$CACHE_DIR"
+  t_cold=$( { time "$BUILD_DIR/cohesion_run" bench/specs/kasync_sweep.json --no-timing \
+      --cache "$CACHE_DIR" --out "$OUT_DIR/cache_cold.json" \
+      2> "$OUT_DIR/cache_stderr.txt"; } 2>&1 | sed -n 's/^real[[:space:]]*//p' )
+  t_warm=$( { time "$BUILD_DIR/cohesion_run" bench/specs/kasync_sweep.json --no-timing \
+      --cache "$CACHE_DIR" --out "$OUT_DIR/cache_warm.json" \
+      2> "$OUT_DIR/cache_stderr.txt"; } 2>&1 | sed -n 's/^real[[:space:]]*//p' )
+  warm_stats=$(sed -n 's/^cache: \(.*\) (.*$/\1/p' "$OUT_DIR/cache_stderr.txt")
+  if ! cmp -s "$OUT_DIR/cache_cold.json" "$OUT_DIR/cache_warm.json"; then
+    echo "ERROR: warm-cache report differs from the cold report" >&2
+    exit 1
+  fi
+  case "$warm_stats" in
+    "64 hits, 0 misses, 0 rejects, 0 inserts") : ;;
+    *) echo "ERROR: warm run expected 64 pure hits, saw: $warm_stats" >&2; exit 1 ;;
+  esac
+  echo "   warm: 64/64 runs served from cache, report byte-identical to cold"
+  python3 - bench/specs/kasync_sweep.json "$OUT_DIR/cache_edited_spec.json" <<'EOF'
+import json, sys
+spec = json.load(open(sys.argv[1]))
+axis = next(a for a in spec["sweep"] if a["path"] == "scheduler.params.k")
+assert axis["values"] == [1, 2], axis
+axis["values"] = [1, 3]  # the edit: half the grid (k=1 variants) survives
+json.dump(spec, open(sys.argv[2], "w"), indent=2)
+EOF
+  t_edit_cold=$( { time "$BUILD_DIR/cohesion_run" "$OUT_DIR/cache_edited_spec.json" \
+      --no-timing --no-cache --out "$OUT_DIR/cache_edit_ref.json" 2> /dev/null; } 2>&1 \
+      | sed -n 's/^real[[:space:]]*//p' )
+  t_edit_warm=$( { time "$BUILD_DIR/cohesion_run" "$OUT_DIR/cache_edited_spec.json" \
+      --no-timing --cache "$CACHE_DIR" --out "$OUT_DIR/cache_edit_warm.json" \
+      2> "$OUT_DIR/cache_stderr.txt"; } 2>&1 | sed -n 's/^real[[:space:]]*//p' )
+  edit_stats=$(sed -n 's/^cache: \(.*\) (.*$/\1/p' "$OUT_DIR/cache_stderr.txt")
+  if ! cmp -s "$OUT_DIR/cache_edit_ref.json" "$OUT_DIR/cache_edit_warm.json"; then
+    echo "ERROR: warm report of the edited sweep differs from its cold no-cache report" >&2
+    exit 1
+  fi
+  case "$edit_stats" in
+    "32 hits, 32 misses, 0 rejects, 32 inserts") : ;;
+    *) echo "ERROR: edited sweep expected 32 hits + 32 misses, saw: $edit_stats" >&2; exit 1 ;;
+  esac
+  echo "   edit-one-axis: exactly the 32 changed runs recomputed, report byte-identical"
+  rm -f "$OUT_DIR/cache_stderr.txt"
+  python3 - "$CACHE_JSON" "$t_cold" "$t_warm" "$t_edit_cold" "$t_edit_warm" <<'EOF'
+import json, sys
+
+def seconds(real):  # "0m1.234s" -> 1.234
+    m, s = real.rstrip("s").split("m")
+    return int(m) * 60 + float(s)
+
+target, t_cold, t_warm, t_edit_cold, t_edit_warm = sys.argv[1:6]
+cold, warm = seconds(t_cold), seconds(t_warm)
+json.dump({
+    "spec": "bench/specs/kasync_sweep.json",
+    "runs": 64,
+    "wall_seconds_cold": round(cold, 3),
+    "wall_seconds_warm": round(warm, 3),
+    "warm_speedup": round(cold / warm, 2) if warm > 0 else None,
+    "wall_seconds_edited_cold_nocache": round(seconds(t_edit_cold), 3),
+    "wall_seconds_edited_warm": round(seconds(t_edit_warm), 3),
+    "edited_recomputed_runs": 32,
+    "edited_hit_runs": 32,
+}, open(target, "w"))
+EOF
+else
+  echo "cohesion_run or bench/specs/kasync_sweep.json missing; skipping cache sweep" >&2
+fi
+
 # Distill activations/sec per swarm size from the engine benches into one
 # trajectory file: {bench -> {benchmark_name -> items_per_second}}, plus the
 # declarative-sweep wall-clock scaling when it ran.
@@ -316,6 +401,12 @@ if stream.exists():
     summary["context"] += ("; stream_sweep: n=16384 bounded-memory stream run "
                            "(RSS-ceiling + replay byte-compared)")
     stream.unlink()
+cache = out_dir / "cache_sweep_timing.json"
+if cache.exists():
+    summary["cache_sweep"] = json.loads(cache.read_text())
+    summary["context"] += ("; cache_sweep: result cache cold vs warm vs edit-one-axis "
+                           "(byte-compared)")
+    cache.unlink()
 target = out_dir / "BENCH_engine.json"
 target.write_text(json.dumps(summary, indent=2) + "\n")
 print(f"wrote {target}")
@@ -339,4 +430,9 @@ if "stream_sweep" in summary:
     print(f"  stream sweep: n={s['n']}, {s['activations']:,} activations, "
           f"{s['peak_rss_kb_stream']} KB streamed vs {s['peak_rss_kb_memory']} KB in-memory, "
           f"replay {s['wall_seconds_replay']}s")
+if "cache_sweep" in summary:
+    c = summary["cache_sweep"]
+    print(f"  cache sweep: {c['wall_seconds_cold']}s cold vs {c['wall_seconds_warm']}s warm "
+          f"({c['warm_speedup']}x), edit-one-axis {c['wall_seconds_edited_warm']}s warm vs "
+          f"{c['wall_seconds_edited_cold_nocache']}s cold ({c['edited_hit_runs']}/64 hits)")
 EOF

@@ -13,6 +13,7 @@
 #include "run/checkpoint.hpp"
 #include "run/exit_codes.hpp"
 #include "run/instantiate.hpp"
+#include "run/result_cache.hpp"
 #include "trace/online_metrics.hpp"
 #include "trace/stream_writer.hpp"
 
@@ -47,9 +48,19 @@ RunOutcome outcome_shell(const ExpandedRun& run) {
 }
 
 RunOutcome execute(const ExpandedRun& run,
-                   const std::function<double(const RunSpec&, const core::Engine&)>& trace_metric) {
-  RunOutcome out = outcome_shell(run);
+                   const std::function<double(const RunSpec&, const core::Engine&)>& trace_metric,
+                   ResultCache* cache) {
   const double t0 = wall_now();
+  if (cache) {
+    // Content-addressed short-circuit: a valid entry carries the physics a
+    // recomputation would produce, byte for byte; anything invalid was
+    // rejected (and counted) inside lookup and falls through to execute.
+    if (std::optional<RunOutcome> hit = cache->lookup(run)) {
+      hit->wall_seconds = wall_now() - t0;
+      return *hit;
+    }
+  }
+  RunOutcome out = outcome_shell(run);
   try {
     RunInstance inst = instantiate(run.spec);
     out.n = inst.initial.size();
@@ -97,6 +108,9 @@ RunOutcome execute(const ExpandedRun& run,
   } catch (const std::exception& e) {
     out.error = e.what();
   }
+  // Errors and skips are refused by insert itself; stream-mode outcomes
+  // store their (mode-independent) physics even though they bypass lookup.
+  if (cache) cache->insert(run, out);
   out.wall_seconds = wall_now() - t0;
   return out;
 }
@@ -293,7 +307,7 @@ BatchResult BatchRunner::run(const std::vector<ExpandedRun>& runs,
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= runs.size()) return;
         if (done[i]) continue;
-        result.outcomes[i] = execute(runs[i], options_.trace_metric);
+        result.outcomes[i] = execute(runs[i], options_.trace_metric, options_.cache);
         done[i] = 1;
         if (journal) journal->append(result.outcomes[i]);
         throttle();
@@ -333,7 +347,7 @@ BatchResult BatchRunner::run(const std::vector<ExpandedRun>& runs,
               if (journal) journal->append(result.outcomes[slot]);
             }
           } else if (!done[slot]) {
-            result.outcomes[slot] = execute(runs[slot], options_.trace_metric);
+            result.outcomes[slot] = execute(runs[slot], options_.trace_metric, options_.cache);
             done[slot] = 1;
             if (journal) journal->append(result.outcomes[slot]);
             throttle();

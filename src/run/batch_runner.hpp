@@ -6,8 +6,10 @@
 // outcomes journal to an append-only JSONL checkpoint (run/checkpoint) so
 // a killed batch resumes without re-running or diverging, the run list
 // may be one ExperimentSpec::expand_shard slice for multi-process sweeps
-// (run/shard merges the partial reports back exactly), and an EarlyStop
-// rule elides a variant's remaining repeats once early ones agree.
+// (run/shard merges the partial reports back exactly), an EarlyStop
+// rule elides a variant's remaining repeats once early ones agree, and a
+// content-addressed ResultCache (run/result_cache) serves unchanged runs
+// from disk instead of recomputing them.
 //
 // Determinism: a run's behavior depends only on its RunSpec (seeds are
 // derived from grid position at expansion time, before any thread starts),
@@ -32,6 +34,8 @@
 #include "run/spec.hpp"
 
 namespace cohesion::run {
+
+class ResultCache;
 
 /// What one run produced. `error` is the exception text when the run
 /// failed to build or execute (other runs are unaffected); `skipped` marks
@@ -139,6 +143,18 @@ class BatchRunner {
     /// fault-injection harness (gives a supervisor's journal poller a
     /// stable line cadence to trigger on). 0 (the default) for real runs.
     std::size_t post_run_delay_ms = 0;
+    /// Optional content-addressed outcome store (run/result_cache.hpp):
+    /// consulted before executing a run, inserted into after. Hits carry
+    /// the byte-identical physics of a recomputation (or the entry is
+    /// rejected and the run executes), so every report/bit-identity
+    /// contract holds with any mix of hits and misses; the throttle knob
+    /// above still applies after a hit, so journal-cadence pacing
+    /// survives a warm cache. Shared safely by all worker threads. Same
+    /// caveat as checkpoint_path for library callers: the cached `custom`
+    /// field is only valid if `trace_metric` is the same pure function
+    /// that produced the entry (the CLI has no hook, so this concerns
+    /// embedders only).
+    ResultCache* cache = nullptr;
   };
 
   BatchRunner() : BatchRunner(Options{}) {}

@@ -134,16 +134,30 @@ RunSpec RunSpec::from_json(const Json& j) {
   return s;
 }
 
-std::uint64_t spec_fingerprint(const RunSpec& spec) {
-  RunSpec hashed = spec;
-  hashed.trace = TraceSpec{};  // capture config is not part of the run identity
-  const std::string doc = hashed.to_json().dump();
+namespace {
+
+std::uint64_t fnv1a64(const std::string& doc) {
   std::uint64_t h = 1469598103934665603ull;  // FNV-1a 64
   for (const char c : doc) {
     h ^= static_cast<unsigned char>(c);
     h *= 1099511628211ull;
   }
   return h;
+}
+
+}  // namespace
+
+std::uint64_t spec_fingerprint(const RunSpec& spec) {
+  RunSpec hashed = spec;
+  hashed.trace = TraceSpec{};  // capture config is not part of the run identity
+  return fnv1a64(hashed.to_json().dump());
+}
+
+std::uint64_t run_identity(const RunSpec& spec) {
+  RunSpec hashed = spec;
+  hashed.trace = TraceSpec{};  // capture config never changes the dynamics
+  hashed.name = RunSpec{}.name;  // labels/repeat suffixes are display identity
+  return fnv1a64(hashed.to_json().dump());
 }
 
 std::string fingerprint_hex(std::uint64_t fp) {

@@ -114,6 +114,21 @@ struct RunSpec {
 /// 16-hex-digit rendering of a fingerprint (zero-padded, lowercase).
 [[nodiscard]] std::string fingerprint_hex(std::uint64_t fp);
 
+/// Content address of a run's *outcome* — what run/result_cache keys its
+/// entries by. Like spec_fingerprint it hashes the resolved spec JSON with
+/// the trace block excluded, but it additionally excludes `name`: expand()
+/// bakes the sweep label and repeat-sibling suffix ("exp/k=2#1") into the
+/// name, which is display identity, not physics — two sweeps that resolve a
+/// variant to the same spec (same seed included) must share one cache entry
+/// even though their labels differ. Everything that *does* change the
+/// dynamics (n, seed, factories + params, visibility, index flags, stop
+/// bounds) stays in the hash. The grid position (index/variant/repeat) is
+/// never hashed; it only reaches the outcome through the derived seed.
+/// Caveats (same as the checkpoint fingerprint): the programmatic
+/// stop.predicate and the trace_metric hook are opaque C++ and cannot be
+/// covered — identity is exact for anything expressible in spec JSON.
+[[nodiscard]] std::uint64_t run_identity(const RunSpec& spec);
+
 /// One axis of a sweep. `path` is a dotted path into the RunSpec JSON
 /// ("scheduler.params.k", "n", ...); each value is substituted at that
 /// path. The empty path "" deep-merges object values into the whole spec,

@@ -56,10 +56,12 @@ done
 
 # Operator-facing CLI flags: documented in the runbook.
 for flag in --shard --checkpoint --resume --fsync-every --threads --out --no-timing \
-            --trace-dir --peak-rss; do
+            --trace-dir --peak-rss --cache --cache-readonly --no-cache; do
   grep -q -- "$flag" docs/operations.md ||
     complain "docs/operations.md does not document cohesion_run $flag"
 done
+grep -q COHESION_CACHE_DIR docs/operations.md ||
+  complain "docs/operations.md does not document \$COHESION_CACHE_DIR"
 
 # Replay-tool (cohesion_replay) flags: same rule.
 for flag in --check --expect-fingerprint --info --svg; do
@@ -76,13 +78,14 @@ done
 
 # Spec-level schema fields: documented with the rest of the spec schema.
 for field in early_stop max_time incremental_index use_spatial_index trace \
-             flush_every index_every; do
+             flush_every index_every extends; do
   grep -q "$field" docs/experiments.md ||
     complain "docs/experiments.md does not document spec field $field"
 done
 
 # The run/ops determinism contracts live in the architecture doc.
-for phrase in shard-union resume fault-tolerance "streamed metrics"; do
+for phrase in shard-union resume fault-tolerance "streamed metrics" \
+              "cached outcome ≡ recomputed outcome"; do
   grep -qi "$phrase" docs/architecture.md ||
     complain "docs/architecture.md does not state the $phrase determinism contract"
 done

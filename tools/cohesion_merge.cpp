@@ -10,7 +10,12 @@
 // Input order does not matter; every shard of the sweep must be present
 // exactly once and the partials must come from the same spec file — merge
 // refuses anything else with an error naming the missing/conflicting
-// shard. Runbook: docs/operations.md. Exit codes (taxonomy in
+// shard. Cache-served outcomes survive merge untouched: a shard worker
+// running with --cache writes the byte-identical outcome a recomputation
+// would have (run/result_cache contract), so partials produced by any mix
+// of warm and cold workers merge to the same report — asserted end to end
+// in tests/integration/cache_e2e_test.cpp. Runbook: docs/operations.md.
+// Exit codes (taxonomy in
 // docs/experiments.md): 0 success, 1 invalid/incomplete partials
 // (permanent — the inputs are wrong), 2 bad usage, 3 transient I/O (an
 // input not readable yet, --out unwritable — retry once the file lands).

@@ -24,11 +24,23 @@
 //                                                  #  cohesion_replay)
 //   cohesion_run sweep.json --peak-rss             # report peak RSS (KB) on
 //                                                  # stderr after the batch
+//   cohesion_run sweep.json --cache DIR            # content-addressed result
+//                                                  # cache: unchanged runs are
+//                                                  # served from DIR, new
+//                                                  # outcomes inserted (safe to
+//                                                  # share across concurrent
+//                                                  # shard workers)
+//   cohesion_run sweep.json --cache DIR --cache-readonly   # hits only
+//   cohesion_run sweep.json --no-cache             # ignore --cache and
+//                                                  # $COHESION_CACHE_DIR
 //   cohesion_run --list                            # registry keys
 //
 // The spec is either a full ExperimentSpec ({"base": {...}, "sweep": [...],
-// "repeats": N}) or a bare RunSpec object, which runs once. Spec schema and
-// seed-derivation rules: docs/experiments.md; sharding/resume contracts and
+// "repeats": N}) or a bare RunSpec object, which runs once; either may
+// layer over other spec files with "extends" (resolved before anything is
+// fingerprinted — docs/experiments.md). $COHESION_CACHE_DIR supplies the
+// cache directory when --cache is absent. Spec schema and seed-derivation
+// rules: docs/experiments.md; sharding/resume contracts, cache keying and
 // file formats: docs/operations.md.
 //
 // Exit codes (the taxonomy supervisors retry by — docs/experiments.md):
@@ -45,14 +57,18 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "run/batch_runner.hpp"
 #include "run/exit_codes.hpp"
+#include "run/preset.hpp"
 #include "run/registry.hpp"
+#include "run/result_cache.hpp"
 #include "run/shard.hpp"
 
 using namespace cohesion;
@@ -91,6 +107,7 @@ int usage(int code) {
                "                    [--shard I/N] [--checkpoint FILE | --resume FILE]\n"
                "                    [--fsync-every N] [--throttle-ms N]\n"
                "                    [--trace-dir DIR] [--peak-rss]\n"
+               "                    [--cache DIR] [--cache-readonly] [--no-cache]\n"
                "       cohesion_run --list\n";
   return code;
 }
@@ -110,6 +127,9 @@ int main(int argc, char** argv) {
   std::string out_path;
   std::string shard_arg;
   std::string trace_dir;
+  std::string cache_dir;
+  bool cache_readonly = false;
+  bool no_cache = false;
   run::BatchRunner::Options options;
   options.threads = 1;
   bool timing = true;
@@ -165,6 +185,12 @@ int main(int argc, char** argv) {
       options.resume = true;
     } else if (arg == "--trace-dir" && i + 1 < argc) {
       trace_dir = argv[++i];
+    } else if (arg == "--cache" && i + 1 < argc) {
+      cache_dir = argv[++i];
+    } else if (arg == "--cache-readonly") {
+      cache_readonly = true;
+    } else if (arg == "--no-cache") {
+      no_cache = true;
     } else if (arg == "--peak-rss") {
       report_rss = true;
     } else if (arg == "--out" && i + 1 < argc) {
@@ -180,6 +206,13 @@ int main(int argc, char** argv) {
   install_stop_handlers();
   options.cancel = &g_interrupted;
 
+  // --cache wins over the environment default; --no-cache beats both (the
+  // escape hatch when a wrapper or $COHESION_CACHE_DIR injects a cache).
+  if (cache_dir.empty()) {
+    if (const char* env = std::getenv("COHESION_CACHE_DIR")) cache_dir = env;
+  }
+  if (no_cache) cache_dir.clear();
+
   try {
     {
       // Distinguish the unreadable file (transient: not copied yet, NFS
@@ -187,7 +220,9 @@ int main(int argc, char** argv) {
       std::ifstream probe(spec_path);
       if (!probe) throw run::TransientError("cannot open spec file " + spec_path);
     }
-    const run::Json doc = run::Json::parse_file(spec_path);
+    // Preset layering ("extends") resolves here — before expansion, and
+    // therefore before any fingerprint (checkpoint or cache) is computed.
+    const run::Json doc = run::load_spec_file(spec_path);
     // A bare RunSpec (no "base") runs as a one-run experiment.
     run::ExperimentSpec experiment;
     if (doc.contains("base")) {
@@ -206,6 +241,12 @@ int main(int argc, char** argv) {
       if (ec) throw run::TransientError("cannot create --trace-dir " + trace_dir);
       experiment.base.trace.mode = "stream";
       experiment.base.trace.path = trace_dir + "/run_{index}.cohtrace";
+    }
+
+    std::optional<run::ResultCache> cache;
+    if (!cache_dir.empty()) {
+      cache.emplace(run::ResultCache::Options{.dir = cache_dir, .read_only = cache_readonly});
+      options.cache = &*cache;
     }
 
     run::Shard shard;
@@ -234,10 +275,25 @@ int main(int argc, char** argv) {
     }
     // A shard emits a partial report — always deterministic (no timing
     // block; wall numbers go to stderr) so partials diff across machines.
-    const run::Json report =
+    run::Json report =
         shard_arg.empty()
             ? run::BatchRunner::report_json(experiment, result, timing)
             : run::partial_report_json(experiment, shard, total_runs, result.outcomes);
+
+    if (cache) {
+      // Hit/miss traffic is wall-clock-class information: it lands in the
+      // timing block (and stderr), never in the deterministic report — a
+      // warm --no-timing report must stay byte-identical to a cold one.
+      const run::CacheStats stats = cache->stats();
+      if (run::Json* t = report.find("timing")) t->set("cache", stats.to_json());
+      for (const std::string& cause : cache->reject_causes()) {
+        std::cerr << "cache reject: " << cause << "\n";
+      }
+      std::cerr << "cache: " << stats.hits << " hits, " << stats.misses << " misses, "
+                << stats.rejects << " rejects, " << stats.inserts << " inserts";
+      if (stats.bypassed > 0) std::cerr << ", " << stats.bypassed << " bypassed (stream mode)";
+      std::cerr << " (" << cache_dir << ")\n";
+    }
 
     if (out_path.empty()) {
       std::cout << report.dump(2) << '\n';
