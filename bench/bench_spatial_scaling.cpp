@@ -38,15 +38,16 @@ constexpr std::size_t kActivationsPerRobot = 8;
 
 enum class Mode { kBrute, kRebuild, kIncremental };
 
-core::EngineConfig config_for(Mode mode) {
+core::EngineConfig config_for(Mode mode, bool soa = false) {
   core::EngineConfig cfg;
   cfg.visibility.radius = 1.0;
   cfg.use_spatial_index = mode != Mode::kBrute;
   cfg.incremental_index = mode == Mode::kIncremental;
+  cfg.soa_kernel = soa;
   return cfg;
 }
 
-void run_fsync(benchmark::State& state, Mode mode) {
+void run_fsync(benchmark::State& state, Mode mode, bool soa = false) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const algo::KknpsAlgorithm algo({.k = 1});
   const auto initial =
@@ -55,7 +56,7 @@ void run_fsync(benchmark::State& state, Mode mode) {
   for (auto _ : state) {
     state.PauseTiming();
     sched::FSyncScheduler sched(n);
-    core::Engine engine(initial, algo, sched, config_for(mode));
+    core::Engine engine(initial, algo, sched, config_for(mode, soa));
     state.ResumeTiming();
     benchmark::DoNotOptimize(engine.run(activations));
   }
@@ -63,7 +64,8 @@ void run_fsync(benchmark::State& state, Mode mode) {
                           static_cast<int64_t>(activations));
 }
 
-void run_kasync(benchmark::State& state, Mode mode, bool heap_selection = false) {
+void run_kasync(benchmark::State& state, Mode mode, bool heap_selection = false,
+                bool soa = false) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const algo::KknpsAlgorithm algo({.k = 1});
   const auto initial =
@@ -72,7 +74,7 @@ void run_kasync(benchmark::State& state, Mode mode, bool heap_selection = false)
   for (auto _ : state) {
     state.PauseTiming();
     sched::KAsyncScheduler sched(n, {.seed = 11, .heap_selection = heap_selection});
-    core::Engine engine(initial, algo, sched, config_for(mode));
+    core::Engine engine(initial, algo, sched, config_for(mode, soa));
     state.ResumeTiming();
     benchmark::DoNotOptimize(engine.run(activations));
   }
@@ -96,8 +98,24 @@ void BM_KAsyncBrute(benchmark::State& state) { run_kasync(state, Mode::kBrute); 
 void BM_KAsyncFast(benchmark::State& state) {
   run_kasync(state, Mode::kIncremental, /*heap_selection=*/true);
 }
+// PR 9 SoA snapshot kernel (EngineConfig::soa_kernel) A/B pairs, same
+// binary, registered adjacent to their scalar twins so an interleaved run
+// measures both under the same thermal/clock conditions. FSync pairs with
+// the rebuild path (under FSync the incremental path's cross-round
+// position memoization beats re-evaluating segment lanes, so grid + SoA is
+// the honest win there); KAsync pairs with BM_KAsyncFast, the production
+// configuration. Both produce bit-identical traces to their twins —
+// enforced by the soa_certification battery (architecture contract 12).
+void BM_FSyncSoA(benchmark::State& state) {
+  run_fsync(state, Mode::kRebuild, /*soa=*/true);
+}
+void BM_KAsyncFastSoA(benchmark::State& state) {
+  run_kasync(state, Mode::kIncremental, /*heap_selection=*/true, /*soa=*/true);
+}
 
 BENCHMARK(BM_FSyncGrid)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FSyncSoA)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FSyncIncremental)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)
     ->Unit(benchmark::kMillisecond);
@@ -108,6 +126,8 @@ BENCHMARK(BM_KAsyncGrid)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)
 BENCHMARK(BM_KAsyncIncremental)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_KAsyncFast)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_KAsyncFastSoA)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_KAsyncBrute)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)
     ->Unit(benchmark::kMillisecond);

@@ -41,6 +41,12 @@ Engine::Engine(std::vector<Vec2> initial, const Algorithm& algorithm, Scheduler&
     // without a Trace that history must live in the kinematic state.
     kin_.set_keep_previous(true);
   }
+  if (config_.soa_kernel && !config_.use_spatial_index) {
+    throw std::invalid_argument(
+        "Engine: soa_kernel requires use_spatial_index — the SoA filter sits "
+        "behind the grid candidate queries, and the brute-force scan is the "
+        "scalar reference it is certified against");
+  }
   double max_radius = config_.visibility.radius;
   if (!config_.visibility.per_robot_radii.empty()) {
     max_radius = *std::max_element(config_.visibility.per_robot_radii.begin(),
@@ -53,6 +59,7 @@ Engine::Engine(std::vector<Vec2> initial, const Algorithm& algorithm, Scheduler&
     positions_now_.resize(trace_.robot_count());
     pos_epoch_.assign(trace_.robot_count(), 0);
   }
+  if (config_.soa_kernel) soa_segments_.reset(trace_.initial_configuration());
 }
 
 Vec2 Engine::history_position(RobotId robot, Time t) const {
@@ -86,6 +93,16 @@ void Engine::snapshot_via_grid(RobotId robot, Time t, const LocalFrame& frame, S
   refresh_grid(t);
   const Vec2 self = positions_now_[robot];
   const double v = config_.visibility.radius_of(robot);
+  if (config_.soa_kernel) {
+    // SoA kernel: pull the same cell window unfiltered, gather the instant
+    // positions into lanes, and let the certified squared-distance filter
+    // make the (exact) visibility decisions.
+    grid_.candidates_within(self, v, neighbor_ids_);
+    soa_filter_.gather_positions(positions_now_, neighbor_ids_, robot);
+    soa_filter_.filter(self, v, config_.visibility.open_ball);
+    append_soa_survivors(frame, snap);
+    return;
+  }
   grid_.neighbors_within(self, v, config_.visibility.open_ball, neighbor_ids_);
   snap.neighbours.reserve(neighbor_ids_.size());
   for (const std::size_t other : neighbor_ids_) {
@@ -138,6 +155,16 @@ void Engine::snapshot_via_incremental(RobotId robot, Time t, const LocalFrame& f
   const Vec2 self = cached_position(robot);
   const double v = config_.visibility.radius_of(robot);
   inc_grid_.candidates_near(self, v, neighbor_ids_);
+  if (config_.soa_kernel) {
+    // SoA kernel: evaluate every candidate's segment at t straight from the
+    // SoA lanes (KinematicState::eval's exact arithmetic, vectorizably —
+    // no per-candidate epoch bookkeeping), then filter with the certified
+    // squared-distance bounds.
+    soa_filter_.gather_segments(soa_segments_, neighbor_ids_, robot, t);
+    soa_filter_.filter(self, v, config_.visibility.open_ball);
+    append_soa_survivors(frame, snap);
+    return;
+  }
   snap.neighbours.reserve(neighbor_ids_.size());
   for (const std::size_t other : neighbor_ids_) {
     if (other == robot) continue;
@@ -162,6 +189,17 @@ void Engine::snapshot_via_scan(RobotId robot, Time t, const LocalFrame& frame, S
     const bool visible = config_.visibility.open_ball ? (d < v) : (d <= v + kVisibilityEpsilon);
     if (!visible) continue;
     snap.neighbours.push_back({frame.perceive(p - self, rng_), false});
+  }
+}
+
+void Engine::append_soa_survivors(const LocalFrame& frame, Snapshot& snap) {
+  const std::size_t m = soa_filter_.survivor_count();
+  snap.neighbours.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    // Survivors are ascending by robot id with self removed, and the stored
+    // offset lanes are the scalar paths' `p - self` bit for bit — so this
+    // perceive() loop draws RNG in exactly the scalar order and values.
+    snap.neighbours.push_back({frame.perceive(soa_filter_.survivor_offset(i), rng_), false});
   }
 }
 
@@ -256,6 +294,7 @@ bool Engine::step() {
   ActivationRecord rec{a, self, planned, realized, snap.size()};
   if (config_.record_history) trace_.record(rec);
   kin_.commit(rec);
+  if (config_.soa_kernel) soa_segments_.commit(rec);
   if (sink_) sink_->append(rec);
   end_time_ = std::max(end_time_, a.t_move_end);
   // A commit leaves every position at its own Look time unchanged — except

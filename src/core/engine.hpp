@@ -41,6 +41,7 @@
 #include "core/error_model.hpp"
 #include "core/kinematics.hpp"
 #include "core/scheduler.hpp"
+#include "core/soa_pool.hpp"
 #include "core/spatial_index.hpp"
 #include "core/stop_condition.hpp"
 #include "core/trace.hpp"
@@ -77,6 +78,17 @@ struct EngineConfig {
   /// incremental-vs-rebuild benchmark axis. Ignored when use_spatial_index
   /// is false.
   bool incremental_index = true;
+  /// Structure-of-arrays snapshot kernel (src/core/soa_pool): candidate
+  /// positions are gathered into parallel coordinate lanes — evaluated
+  /// straight from an SoA segment pool on the incremental path — and
+  /// pre-filtered by a vectorizable squared-distance loop against certified
+  /// conservative bounds; only the narrow borderline band re-runs the exact
+  /// hypot predicate, so results stay bit-identical to the scalar reference
+  /// (architecture contract 12, certified by tests/core/soa_equivalence_
+  /// test.cpp under ASan and -march=native). false keeps the scalar
+  /// reference paths, which remain the default. Requires use_spatial_index
+  /// — the kernel sits behind the grid candidate queries.
+  bool soa_kernel = false;
   /// Materialize the full activation history in the in-memory Trace. false
   /// selects the bounded-memory mode: the engine keeps only each robot's
   /// current + previous trajectory segment (O(robot count) state, not
@@ -157,6 +169,9 @@ class Engine final : public SimulationView {
   void snapshot_via_incremental(RobotId robot, Time t, const LocalFrame& frame, Snapshot& snap);
   /// Reference visible-neighbor enumeration: full scan over Trace positions.
   void snapshot_via_scan(RobotId robot, Time t, const LocalFrame& frame, Snapshot& snap);
+  /// Emit the SoA filter's survivors into the snapshot — the same
+  /// ascending-id perceive() sequence the scalar loops produce.
+  void append_soa_survivors(const LocalFrame& frame, Snapshot& snap);
   /// Collapse or flag co-located perceived robots (paper footnote 4).
   void resolve_multiplicity(Snapshot& snap);
   /// Ensure positions_now_/grid_ describe time `t`.
@@ -197,6 +212,11 @@ class Engine final : public SimulationView {
   std::uint64_t epoch_ = 1;               // bumped whenever pos_time_ changes
   Time pos_time_ = 0.0;                   // time positions_now_ entries describe
   Time inc_time_ = 0.0;                   // last incremental query time
+
+  // SoA kernel (config_.soa_kernel): segment lanes mirroring kin_, and the
+  // gather/filter scratch. Empty when the scalar paths are selected.
+  SoaSegmentPool soa_segments_;
+  SoaNeighborFilter soa_filter_;
 };
 
 }  // namespace cohesion::core

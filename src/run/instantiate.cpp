@@ -21,6 +21,12 @@ RunInstance instantiate(const RunSpec& spec) {
   inst.config.seed = seeds.engine;
   inst.config.use_spatial_index = spec.use_spatial_index;
   inst.config.incremental_index = spec.incremental_index;
+  if (spec.soa_kernel && !spec.use_spatial_index) {
+    throw std::runtime_error(
+        "soa_kernel requires use_spatial_index: the SoA filter sits behind the "
+        "grid candidate queries (the scan path is its scalar reference)");
+  }
+  inst.config.soa_kernel = spec.soa_kernel;
   if (spec.trace.mode != "memory") {
     if (!spec.use_spatial_index) {
       throw std::runtime_error(

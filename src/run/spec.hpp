@@ -98,6 +98,12 @@ struct RunSpec {
   bool multiplicity_detection = false;
   bool use_spatial_index = true;
   bool incremental_index = true;
+  /// SoA/SIMD snapshot kernel (EngineConfig::soa_kernel) — bit-identical to
+  /// the scalar reference by architecture contract 12. Requires
+  /// use_spatial_index; instantiate() rejects the combination otherwise.
+  /// Serialized only when true, so existing spec bytes, fingerprints and
+  /// cache keys are untouched.
+  bool soa_kernel = false;
   core::StopCondition stop;  ///< predicate is not serialized
   TraceSpec trace;           ///< history capture; default preserves old bytes
 

@@ -39,6 +39,7 @@ RunSpec sample_spec() {
   s.multiplicity_detection = true;
   s.use_spatial_index = false;
   s.incremental_index = false;
+  s.soa_kernel = true;  // serialized (and thus walked) only when true
   s.stop.epsilon = 0.08;
   s.stop.max_activations = 1234;
   s.stop.check_every = 32;

@@ -21,6 +21,7 @@ RunSpec sample_spec() {
   s.multiplicity_detection = true;
   s.use_spatial_index = false;
   s.incremental_index = false;
+  s.soa_kernel = true;
   s.stop.epsilon = 0.08;
   s.stop.max_activations = 1234;
   s.stop.check_every = 32;
@@ -41,6 +42,7 @@ TEST(RunSpec, JsonRoundTripIsExact) {
   EXPECT_TRUE(back.open_ball);
   EXPECT_FALSE(back.use_spatial_index);
   EXPECT_FALSE(back.incremental_index);
+  EXPECT_TRUE(back.soa_kernel);
 }
 
 TEST(RunSpec, DefaultsApplyForAbsentFields) {
@@ -52,6 +54,22 @@ TEST(RunSpec, DefaultsApplyForAbsentFields) {
   EXPECT_DOUBLE_EQ(s.stop.epsilon, 0.05);
   EXPECT_TRUE(s.use_spatial_index);
   EXPECT_TRUE(s.incremental_index);
+  EXPECT_FALSE(s.soa_kernel);
+}
+
+TEST(RunSpec, SoaKernelSerializedOnlyWhenEnabled) {
+  // Off (the default) must not appear in the JSON at all — existing spec
+  // bytes, fingerprints, cache keys and checkpoints stay untouched.
+  const RunSpec off;
+  EXPECT_EQ(off.to_json().dump().find("soa_kernel"), std::string::npos);
+  RunSpec on;
+  on.soa_kernel = true;
+  const Json j = on.to_json();
+  EXPECT_NE(j.dump().find("\"soa_kernel\":true"), std::string::npos);
+  EXPECT_TRUE(RunSpec::from_json(j).soa_kernel);
+  // The flag participates in the identity exactly when serialized.
+  EXPECT_NE(spec_fingerprint(off), spec_fingerprint(on));
+  EXPECT_NE(run_identity(off), run_identity(on));
 }
 
 TEST(RunSpec, FactoryShorthandString) {

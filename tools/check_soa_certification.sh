@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# SoA certification battery (architecture contract 12): the SoA snapshot
+# kernel must be bit-identical to the scalar reference, or the build is
+# rejected. This script proves it under the two configurations most likely
+# to break bit-identity or memory safety:
+#
+#   asan    -DCOHESION_SANITIZE=address  — the 500-seed differential fuzz
+#           and the pool/filter property tests with every allocation and
+#           gather bounds-checked;
+#   native  -DCOHESION_NATIVE=ON         — the same suites compiled with
+#           -march=native (widest vectors + FMA contraction the host
+#           supports), demonstrating the certified-band design is immune
+#           to ISA and contraction choices.
+#
+# Each configuration is a scoped subtree build under $1 (default
+# build/soa-cert relative to the repo root) restricted via
+# -DCOHESION_SOA_CERT_ONLY=ON to the library plus tests/core/soa_*.cpp, so
+# the battery stays cheap enough for tier-1 (the `soa_certification` ctest
+# test runs this script). A configuration whose toolchain flags do not work
+# on the host (no libasan, cross-compile without native) is skipped with a
+# notice — missing tooling must not fail the contract check, a red test
+# must.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+root="${1:-build/soa-cert}"
+
+# Keep subtree builds from inheriting a parent generator's environment.
+unset MAKEFLAGS CMAKEFLAGS 2>/dev/null || true
+
+probe_flags() {  # probe_flags <name> <extra cmake cache args...>
+  # Compile+link a trivial program with the configuration's flags to see
+  # whether the host toolchain supports them at all.
+  local name="$1"; shift
+  local dir="$root/probe-$name"
+  mkdir -p "$dir"
+  cat > "$dir/probe.cpp" <<'EOF'
+int main() { return 0; }
+EOF
+  local flags=()
+  for arg in "$@"; do
+    case "$arg" in
+      -DCOHESION_SANITIZE=address) flags+=(-fsanitize=address) ;;
+      -DCOHESION_NATIVE=ON) flags+=(-march=native) ;;
+    esac
+  done
+  c++ "${flags[@]}" "$dir/probe.cpp" -o "$dir/probe" >/dev/null 2>&1
+}
+
+run_config() {  # run_config <name> <extra cmake cache args...>
+  local name="$1"; shift
+  if ! probe_flags "$name" "$@"; then
+    echo "soa-cert: SKIP $name (host toolchain rejects its flags)"
+    return 0
+  fi
+  local dir="$root/$name"
+  echo "soa-cert: configure $name"
+  cmake -S . -B "$dir" \
+        -DCOHESION_SOA_CERT_ONLY=ON \
+        -DCOHESION_BUILD_BENCHES=OFF \
+        -DCOHESION_BUILD_EXAMPLES=OFF \
+        "$@" >/dev/null
+  echo "soa-cert: build $name"
+  cmake --build "$dir" --target cohesion_tests -j "$(nproc)" >/dev/null
+  echo "soa-cert: run $name"
+  "$dir/cohesion_tests" --gtest_brief=1
+  echo "soa-cert: PASS $name"
+}
+
+run_config asan -DCOHESION_SANITIZE=address
+run_config native -DCOHESION_NATIVE=ON
+echo "soa-cert: all configurations certified bit-identical"
