@@ -1,0 +1,35 @@
+# Container image for the cohesion_serve work-queue (docs/operations.md).
+# Build stage compiles just the library + tools (no tests/benches, so the
+# image needs no gtest/benchmark); the runtime stage carries the two
+# binaries the serve topology uses — cohesion_serve (daemon/worker/submit
+# CLI) and cohesion_run (the runner workers spawn per lease) — plus the
+# declarative specs under /opt/cohesion/specs for smoke submissions.
+#
+#   docker build -t cohesion .
+#   docker run --rm cohesion --help
+#
+# The daemon/worker/submit topology lives in docker-compose.yml.
+FROM debian:bookworm-slim AS build
+RUN apt-get update \
+    && apt-get install -y --no-install-recommends g++ cmake make \
+    && rm -rf /var/lib/apt/lists/*
+WORKDIR /src
+COPY . .
+RUN cmake -B build -S . \
+        -DCOHESION_BUILD_TESTS=OFF \
+        -DCOHESION_BUILD_BENCHES=OFF \
+        -DCOHESION_BUILD_EXAMPLES=OFF \
+    && cmake --build build -j"$(nproc)" --target cohesion_serve cohesion_run
+
+FROM debian:bookworm-slim
+# libstdc++/libgcc are already in bookworm-slim; the binaries need nothing
+# else. Keep cohesion_run next to cohesion_serve: the worker's default
+# --runner is its own sibling binary.
+COPY --from=build /src/build/cohesion_serve /src/build/cohesion_run /usr/local/bin/
+COPY --from=build /src/bench/specs /opt/cohesion/specs
+# Daemon state (ledger) and worker scratch live under /var/lib/cohesion —
+# mount a volume there so a restarted daemon container resumes its jobs.
+RUN mkdir -p /var/lib/cohesion
+WORKDIR /var/lib/cohesion
+ENTRYPOINT ["/usr/local/bin/cohesion_serve"]
+CMD ["--help"]

@@ -21,7 +21,11 @@
 # cache, fully warm, and with one axis edited — asserting warm and
 # mixed hit/miss reports byte-identical to their cold counterparts and
 # that exactly the edited variants recompute — and records the walls
-# under cache_sweep.
+# under cache_sweep. A serve stage submits the sweep to a cohesion_serve
+# work-queue daemon feeding two workers, SIGKILLs one mid-run, and
+# byte-compares the served report (assembled across the 2 -> 1 elastic
+# re-partition) against the fresh single-process run, recording the wall
+# under serve_sweep.
 #
 # Usage: bench/run_benches.sh [BUILD_DIR] [OUT_DIR]
 #   BUILD_DIR  cmake build tree containing the bench_* executables (default: build)
@@ -431,6 +435,81 @@ else
   echo "bench_spatial_scaling/cohesion_run or bench/specs/kasync_sweep.json missing; skipping soa sweep" >&2
 fi
 
+# Served sweep through the cohesion_serve work-queue daemon: the same spec
+# submitted to a daemon feeding two workers, one of which is SIGKILLed
+# mid-run (no flush, no release — a true crash). The daemon must observe
+# the death, re-partition 2 -> 1, re-lease the dead worker's uncovered
+# variants, and still deliver a report byte-identical to the fresh
+# single-process run (architecture contract 13). Walls land under
+# serve_sweep.
+SERVE_JSON="$OUT_DIR/serve_sweep_timing.json"
+rm -f "$SERVE_JSON"
+if [ -x "$BUILD_DIR/cohesion_serve" ] && [ -x "$BUILD_DIR/cohesion_run" ] \
+   && [ -f bench/specs/kasync_sweep.json ]; then
+  echo "== serve sweep (daemon + 2 workers, one SIGKILLed mid-run, byte-compared)"
+  "$BUILD_DIR/cohesion_run" bench/specs/kasync_sweep.json --no-timing \
+      --out "$OUT_DIR/serve_fresh.json" 2> /dev/null
+  SERVE_DIR="$OUT_DIR/serve_work"
+  rm -rf "$SERVE_DIR"
+  mkdir -p "$SERVE_DIR"
+  SERVE_ADDR="unix:$SERVE_DIR/serve.sock"
+  "$BUILD_DIR/cohesion_serve" --listen "$SERVE_ADDR" --ledger "$SERVE_DIR/serve.ledger" \
+      --poll-interval 0.01 --backoff-base 0.05 --backoff-max 0.2 --jitter 0 \
+      > "$SERVE_DIR/daemon.log" 2>&1 &
+  serve_daemon=$!
+  "$BUILD_DIR/cohesion_serve" --worker "$SERVE_ADDR" --name bench-w1 \
+      --work-dir "$SERVE_DIR/w1.work" --runner "$BUILD_DIR/cohesion_run" \
+      --throttle-ms 20 > "$SERVE_DIR/w1.log" 2>&1 &
+  serve_w1=$!
+  "$BUILD_DIR/cohesion_serve" --worker "$SERVE_ADDR" --name bench-w2 \
+      --work-dir "$SERVE_DIR/w2.work" --runner "$BUILD_DIR/cohesion_run" \
+      --throttle-ms 20 > "$SERVE_DIR/w2.log" 2>&1 &
+  serve_w2=$!
+  # Crash injector: the moment real work is streaming into the ledger,
+  # SIGKILL one lease holder.
+  ( while ! grep -q '"event":"outcome"' "$SERVE_DIR/serve.ledger" 2> /dev/null; do
+      sleep 0.05
+    done
+    kill -9 "$serve_w2" 2> /dev/null ) &
+  serve_killer=$!
+  t_serve=$( { time "$BUILD_DIR/cohesion_serve" --submit bench/specs/kasync_sweep.json \
+      "$SERVE_ADDR" --wait --out "$OUT_DIR/serve_report.json" > /dev/null 2>&1; } 2>&1 \
+      | sed -n 's/^real[[:space:]]*//p' )
+  wait "$serve_killer" 2> /dev/null || true
+  wait "$serve_w2" 2> /dev/null || true
+  if ! cmp -s "$OUT_DIR/serve_fresh.json" "$OUT_DIR/serve_report.json"; then
+    echo "ERROR: served report with a SIGKILLed worker differs from the fresh run" >&2
+    exit 1
+  fi
+  if ! grep -q 're-partitioned 2 -> 1' "$SERVE_DIR/daemon.log"; then
+    echo "ERROR: daemon never re-partitioned after the worker was SIGKILLed" >&2
+    exit 1
+  fi
+  echo "   fault tolerance: served report byte-identical after SIGKILL + 2 -> 1 re-partition"
+  kill "$serve_w1" 2> /dev/null || true
+  wait "$serve_w1" 2> /dev/null || true
+  "$BUILD_DIR/cohesion_serve" --shutdown "$SERVE_ADDR" > /dev/null 2>&1 || true
+  wait "$serve_daemon" 2> /dev/null || true
+  rm -rf "$SERVE_DIR"
+  python3 - "$SERVE_JSON" "$t_serve" <<'EOF'
+import json, sys
+
+def seconds(real):  # "0m1.234s" -> 1.234
+    m, s = real.rstrip("s").split("m")
+    return int(m) * 60 + float(s)
+
+target, t_serve = sys.argv[1:3]
+json.dump({
+    "spec": "bench/specs/kasync_sweep.json",
+    "workers": 2,
+    "fault": "SIGKILL one worker after the first journaled outcome",
+    "wall_seconds_served_faulted": round(seconds(t_serve), 3),
+}, open(target, "w"))
+EOF
+else
+  echo "cohesion_serve/cohesion_run or bench/specs/kasync_sweep.json missing; skipping serve sweep" >&2
+fi
+
 # Distill activations/sec per swarm size from the engine benches into one
 # trajectory file: {bench -> {benchmark_name -> items_per_second}}, plus the
 # declarative-sweep wall-clock scaling when it ran.
@@ -485,6 +564,12 @@ if soa.exists():
     summary["context"] += ("; soa_sweep: scalar vs SoA snapshot kernel, same binary "
                            "(medians of repeated n=4096 A/B, report byte-compared)")
     soa.unlink()
+serve = out_dir / "serve_sweep_timing.json"
+if serve.exists():
+    summary["serve_sweep"] = json.loads(serve.read_text())
+    summary["context"] += ("; serve_sweep: work-queue daemon + 2 workers, one SIGKILLed "
+                           "mid-run (byte-compared)")
+    serve.unlink()
 target = out_dir / "BENCH_engine.json"
 target.write_text(json.dumps(summary, indent=2) + "\n")
 print(f"wrote {target}")
@@ -518,4 +603,8 @@ if "soa_sweep" in summary:
     print(f"  soa sweep: KAsyncFast SoA/scalar {s['speedup_kasync_fast_soa_over_fast']}x, "
           f"FSync SoA/grid {s['speedup_fsync_soa_over_grid']}x "
           f"(n=4096 medians, report byte-identity {s['report_byte_identity']})")
+if "serve_sweep" in summary:
+    s = summary["serve_sweep"]
+    print(f"  serve sweep: {s['wall_seconds_served_faulted']}s served by {s['workers']} workers "
+          f"with one SIGKILLed mid-run (byte-compared)")
 EOF

@@ -21,6 +21,7 @@ enum ExitCode : int {
   kExitUsage = 2,        ///< bad command line
   kExitTransient = 3,    ///< environmental I/O failure — retrying may fix it
   kExitInterrupted = 4,  ///< SIGTERM/SIGINT: journal flushed, resumable
+  kExitTransientNetwork = 5,  ///< peer unreachable/refused/reset — retrying may fix it
 };
 
 /// Thrown for failures of the environment (open/write/fsync/truncate), as
@@ -30,11 +31,23 @@ struct TransientError : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Thrown when a network peer is unreachable (connection refused/reset,
+/// lookup failure, send/recv timeout): a distinct transient cause, because
+/// the right response differs — a worker that cannot reach its daemon
+/// should keep retrying the *connect* under backoff (the daemon may be
+/// restarting), not relaunch its whole invocation. CLIs map it to
+/// kExitTransientNetwork; it is-a TransientError, so code that only
+/// distinguishes transient-vs-permanent keeps working.
+struct TransientNetworkError : TransientError {
+  using TransientError::TransientError;
+};
+
 /// Whether a worker that exited with `code` is worth relaunching with the
-/// same arguments. Transient and interrupted exits are; success needs no
-/// retry and permanent/usage exits would fail identically again.
+/// same arguments. Transient (I/O or network) and interrupted exits are;
+/// success needs no retry and permanent/usage exits would fail identically
+/// again.
 [[nodiscard]] inline bool exit_code_retryable(int code) {
-  return code == kExitTransient || code == kExitInterrupted;
+  return code == kExitTransient || code == kExitInterrupted || code == kExitTransientNetwork;
 }
 
 }  // namespace cohesion::run

@@ -1,0 +1,400 @@
+#include "serve/worker.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "run/batch_runner.hpp"
+#include "run/exit_codes.hpp"
+#include "run/supervisor.hpp"
+
+namespace cohesion::serve {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kPartialFormat = "cohesion-partial-report/1";
+
+std::string sibling_runner() {
+  char buf[4096];
+  const ::ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "cohesion_run";
+  buf[n] = '\0';
+  const std::string exe(buf);
+  const std::size_t slash = exe.rfind('/');
+  if (slash == std::string::npos) return "cohesion_run";
+  return exe.substr(0, slash + 1) + "cohesion_run";
+}
+
+struct JournalStat {
+  std::size_t bytes = 0;
+  std::size_t outcome_lines = 0;
+};
+
+JournalStat stat_journal(const std::string& path) {
+  JournalStat s;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return s;
+  std::size_t lines = 0;
+  char chunk[1 << 14];
+  while (in.read(chunk, sizeof(chunk)) || in.gcount() > 0) {
+    const std::streamsize got = in.gcount();
+    s.bytes += static_cast<std::size_t>(got);
+    lines += static_cast<std::size_t>(std::count(chunk, chunk + got, '\n'));
+    if (got < static_cast<std::streamsize>(sizeof(chunk))) break;
+  }
+  s.outcome_lines = lines > 0 ? lines - 1 : 0;  // line 1 is the header
+  return s;
+}
+
+Json outcomes_json(const std::vector<run::RunOutcome>& outcomes, std::size_t from = 0) {
+  JsonArray arr;
+  for (std::size_t i = from; i < outcomes.size(); ++i) arr.push_back(outcomes[i].to_json());
+  return Json(std::move(arr));
+}
+
+class WorkerLoop {
+ public:
+  explicit WorkerLoop(const WorkerOptions& options) : options_(options) {
+    if (options_.runner.empty()) options_.runner = sibling_runner();
+    if (options_.name.empty()) options_.name = "worker-" + std::to_string(::getpid());
+  }
+
+  int run() {
+    std::error_code ec;
+    fs::create_directories(options_.work_dir, ec);
+    if (ec) throw run::TransientError("cannot create work dir " + options_.work_dir);
+
+    for (;;) {
+      if (stopped()) return run::kExitInterrupted;
+      int exit_code = 0;
+      if (!connect_with_retry(exit_code)) return exit_code;
+      try {
+        const int code = serve_connection();
+        if (code >= 0) return code;
+        // code < 0: connection lost — reconnect and keep serving. The
+        // daemon reclaims our lease through the dropped connection.
+      } catch (const run::TransientNetworkError& e) {
+        event(std::string("connection lost: ") + e.what() + " — reconnecting");
+      }
+      conn_.reset();
+    }
+  }
+
+ private:
+  bool stopped() const { return options_.stop != nullptr && options_.stop->load(); }
+
+  void event(const std::string& line) {
+    if (options_.on_event) options_.on_event(line);
+  }
+
+  /// Sleep in small slices so a stop signal is honored promptly.
+  void nap(double seconds) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::duration<double>(seconds);
+    while (!stopped() && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+
+  /// Retry the connect under exponential backoff: the daemon may not be up
+  /// yet, or may be mid-restart. Exhaustion returns false with exit 5 — the
+  /// named transient-network cause, so an outer supervisor retries us.
+  bool connect_with_retry(int& exit_code) {
+    double delay = options_.connect_backoff_seconds;
+    for (std::size_t attempt = 1;; ++attempt) {
+      if (stopped()) {
+        exit_code = run::kExitInterrupted;
+        return false;
+      }
+      try {
+        conn_.emplace(connect_to(options_.address, options_.io_timeout_seconds));
+        Json hello = Json::object();
+        hello.set("op", "hello");
+        hello.set("role", "worker");
+        hello.set("name", options_.name);
+        const Json reply = transact(hello);
+        worker_id_ = reply.uint_or("worker", 0);
+        event("connected to " + options_.address.describe() + " as worker " +
+              std::to_string(worker_id_));
+        return true;
+      } catch (const run::TransientNetworkError& e) {
+        conn_.reset();
+        if (attempt >= options_.connect_attempts) {
+          event(std::string("giving up after ") + std::to_string(attempt) +
+                " connect attempts: " + e.what());
+          exit_code = run::kExitTransientNetwork;
+          return false;
+        }
+        event("connect attempt " + std::to_string(attempt) + "/" +
+              std::to_string(options_.connect_attempts) + " failed (" + e.what() +
+              "); retrying in " + std::to_string(delay) + "s");
+        nap(delay);
+        delay = std::min(delay * 2.0, 5.0);
+      }
+    }
+  }
+
+  Json transact(const Json& request) {
+    conn_->send(request);
+    std::optional<Json> reply = conn_->receive();
+    if (!reply) throw run::TransientNetworkError("daemon closed the connection");
+    if (!reply->bool_or("ok", false)) {
+      throw std::runtime_error("daemon rejected " + request.string_or("op", "?") + ": " +
+                               reply->string_or("error", "unspecified"));
+    }
+    return std::move(*reply);
+  }
+
+  /// Serve leases until stop (>=0: process exit code) or connection loss
+  /// (-1: caller reconnects).
+  int serve_connection() {
+    for (;;) {
+      if (stopped()) return run::kExitInterrupted;
+      Json request = Json::object();
+      request.set("op", "request");
+      request.set("worker", worker_id_);
+      Json reply;
+      try {
+        reply = transact(request);
+      } catch (const run::TransientNetworkError&) {
+        return -1;
+      }
+      if (const Json* lease = reply.find("lease")) {
+        const int code = execute_lease(*lease);
+        if (code >= 0) return code;
+        continue;  // -1: lease finished one way or another, ask again
+      }
+      if (options_.oneshot && all_jobs_settled()) {
+        event("oneshot: no running jobs — exiting");
+        return 0;
+      }
+      nap(std::max(reply.number_or("poll_seconds", options_.idle_poll_seconds),
+                   options_.idle_poll_seconds));
+    }
+  }
+
+  bool all_jobs_settled() {
+    Json status_req = Json::object();
+    status_req.set("op", "status");
+    const Json reply = transact(status_req);
+    for (const Json& jd : reply.at("status").at("jobs").items()) {
+      if (jd.string_or("state", "") == "running") return false;
+    }
+    return true;
+  }
+
+  struct Runner {
+    ::pid_t pid = -1;
+    std::string journal;
+    std::string partial;
+  };
+
+  /// -1: keep serving; >=0: exit the worker with this code.
+  int execute_lease(const Json& lease) {
+    const std::uint64_t lease_id = lease.uint_or("id", 0);
+    const std::uint64_t job = lease.uint_or("job", 0);
+    const std::size_t shard = static_cast<std::size_t>(lease.uint_or("shard", 0));
+    const std::size_t of = static_cast<std::size_t>(lease.uint_or("of", 1));
+    const std::string stem = options_.work_dir + "/job" + std::to_string(job) + "_s" +
+                             std::to_string(shard) + "of" + std::to_string(of);
+    const std::string spec_path =
+        options_.work_dir + "/job" + std::to_string(job) + ".spec.json";
+    {
+      std::ofstream out(spec_path);
+      if (!out) throw run::TransientError("cannot write " + spec_path);
+      out << lease.at("spec").dump(2) << '\n';
+    }
+    Runner r;
+    r.journal = stem + ".ckpt";
+    r.partial = stem + ".partial.json";
+    ::unlink(r.partial.c_str());
+    event("lease " + std::to_string(lease_id) + ": job " + std::to_string(job) + " shard " +
+          std::to_string(shard) + "/" + std::to_string(of));
+
+    std::vector<std::string> args = {
+        options_.runner, spec_path,
+        "--shard",       std::to_string(shard) + "/" + std::to_string(of),
+        "--resume",      r.journal,
+        "--out",         r.partial,
+        "--threads",     std::to_string(std::max<std::size_t>(options_.threads, 1)),
+    };
+    if (options_.throttle_ms > 0) {
+      args.push_back("--throttle-ms");
+      args.push_back(std::to_string(options_.throttle_ms));
+    }
+    r.pid = ::fork();
+    if (r.pid < 0) {
+      send_lease_end("fail", lease_id, {}, run::kExitTransient,
+                     std::string("fork failed (") + std::strerror(errno) + ")");
+      return -1;
+    }
+    if (r.pid == 0) {
+      const std::string log_path = stem + ".log";
+      const int log = ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+      if (log >= 0) {
+        ::dup2(log, STDOUT_FILENO);
+        ::dup2(log, STDERR_FILENO);
+        if (log > STDERR_FILENO) ::close(log);
+      }
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (std::string& a : args) argv.push_back(a.data());
+      argv.push_back(nullptr);
+      ::execv(argv[0], argv.data());
+      ::_exit(127);
+    }
+
+    // Watch loop: reap, heartbeat with journal growth + fresh outcomes,
+    // obey revocations and stop signals.
+    std::size_t sent = 0;
+    for (;;) {
+      int st = 0;
+      const ::pid_t got = ::waitpid(r.pid, &st, WNOHANG);
+      if (got == r.pid) return reap(lease_id, shard, of, r, st);
+      if (stopped()) {
+        // Graceful stop: the runner flushes its journal on SIGTERM (exit 4
+        // contract); everything journaled goes back with the release.
+        stop_runner(r);
+        try {
+          send_lease_end("release", lease_id, journal_outcomes(r.journal), 0, "");
+        } catch (const std::exception&) {
+          // The daemon reclaims the lease via the dropped connection.
+        }
+        event("interrupted: lease " + std::to_string(lease_id) +
+              " released, journal flushed");
+        return run::kExitInterrupted;
+      }
+      nap(options_.heartbeat_interval_seconds);
+      const JournalStat js = stat_journal(r.journal);
+      const std::vector<run::RunOutcome> outcomes = journal_outcomes(r.journal);
+      Json hb = Json::object();
+      hb.set("op", "heartbeat");
+      hb.set("lease", lease_id);
+      hb.set("journal_bytes", js.bytes);
+      hb.set("journal_lines", js.outcome_lines);
+      hb.set("outcomes", outcomes_json(outcomes, std::min(sent, outcomes.size())));
+      Json reply;
+      try {
+        reply = transact(hb);
+      } catch (const run::TransientNetworkError& e) {
+        event(std::string("heartbeat failed: ") + e.what());
+        stop_runner(r);
+        return -1;  // reconnect; the daemon reclaims via the dropped conn
+      }
+      sent = outcomes.size();
+      if (!reply.bool_or("valid", false)) {
+        // Revoked (elastic re-partition) or expired: stop, hand the
+        // journal back gracefully, ask for fresh work.
+        event("lease " + std::to_string(lease_id) + " revoked — stopping runner");
+        stop_runner(r);
+        try {
+          send_lease_end("release", lease_id, journal_outcomes(r.journal), 0, "");
+        } catch (const run::TransientNetworkError&) {
+          return -1;
+        }
+        return -1;
+      }
+    }
+  }
+
+  int reap(std::uint64_t lease_id, std::size_t shard, std::size_t of, const Runner& r,
+           int status) {
+    const std::vector<run::RunOutcome> outcomes = journal_outcomes(r.journal);
+    std::string reason;
+    int code = run::kExitTransient;
+    bool covered = false;
+    if (WIFSIGNALED(status)) {
+      reason = "runner killed by signal " + std::to_string(WTERMSIG(status));
+    } else if (WIFEXITED(status)) {
+      code = WEXITSTATUS(status);
+      if (code == run::kExitSuccess) {
+        covered = true;
+      } else if (code == run::kExitPermanent && usable_partial(r.partial, shard, of)) {
+        // In-run errors: the partial report still covers the shard — the
+        // merged report carries them exactly like a single process would.
+        covered = true;
+      } else {
+        reason = "runner exited " + std::to_string(code);
+      }
+    } else {
+      reason = "runner ended abnormally";
+    }
+    try {
+      if (covered) {
+        event("lease " + std::to_string(lease_id) + " complete (" +
+              std::to_string(outcomes.size()) + " outcomes)");
+        send_lease_end("complete", lease_id, outcomes, 0, "");
+      } else {
+        event("lease " + std::to_string(lease_id) + " failed: " + reason);
+        send_lease_end("fail", lease_id, outcomes, code, reason);
+      }
+    } catch (const run::TransientNetworkError&) {
+      return -1;  // reconnect; outcomes survive in the journal for re-lease
+    }
+    return -1;
+  }
+
+  void send_lease_end(const char* op, std::uint64_t lease_id,
+                      const std::vector<run::RunOutcome>& outcomes, int exit_code,
+                      const std::string& reason) {
+    Json msg = Json::object();
+    msg.set("op", op);
+    msg.set("lease", lease_id);
+    if (std::string(op) == "fail") {
+      msg.set("exit_code", exit_code);
+      msg.set("reason", reason);
+    }
+    msg.set("outcomes", outcomes_json(outcomes));
+    (void)transact(msg);
+  }
+
+  static std::vector<run::RunOutcome> journal_outcomes(const std::string& path) {
+    std::vector<run::RunOutcome> outcomes;
+    run::read_journal_outcomes(path, outcomes);
+    return outcomes;
+  }
+
+  void stop_runner(Runner& r) {
+    if (r.pid <= 0) return;
+    ::kill(r.pid, SIGTERM);
+    int st = 0;
+    ::waitpid(r.pid, &st, 0);
+    r.pid = -1;
+  }
+
+  bool usable_partial(const std::string& path, std::size_t shard, std::size_t of) const {
+    try {
+      const Json doc = Json::parse_file(path);
+      if (doc.string_or("format", "") != kPartialFormat) return false;
+      const Json* sh = doc.find("shard");
+      if (sh == nullptr) return false;
+      return sh->uint_or("index", ~0ull) == shard && sh->uint_or("count", 0) == of;
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+
+  WorkerOptions options_;
+  std::optional<LineConnection> conn_;
+  std::uint64_t worker_id_ = 0;
+};
+
+}  // namespace
+
+int run_worker(const WorkerOptions& options) { return WorkerLoop(options).run(); }
+
+}  // namespace cohesion::serve

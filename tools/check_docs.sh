@@ -76,6 +76,22 @@ for flag in --shards --fault --lease-timeout --max-attempts --backoff-base --thr
     complain "docs/operations.md does not document cohesion_launch $flag"
 done
 
+# Work-queue daemon (cohesion_serve) flags: same rule. (--lease-timeout,
+# --max-attempts, --backoff-*, --work-dir, --throttle-ms are shared with
+# cohesion_launch and gated above.)
+for flag in --listen --worker --submit --status --shutdown --ledger --poll-interval \
+            --status-interval --jitter-seed --runner --connect-attempts --connect-backoff \
+            --oneshot --wait; do
+  grep -q -- "$flag" docs/operations.md ||
+    complain "docs/operations.md does not document cohesion_serve $flag"
+done
+
+# The serve on-disk/degraded formats and the container recipe: runbook.
+for phrase in cohesion-serve-ledger/1 cohesion-supervised-partial/1 docker-compose.yml; do
+  grep -q "$phrase" docs/operations.md ||
+    complain "docs/operations.md does not cover $phrase"
+done
+
 # Spec-level schema fields: documented with the rest of the spec schema.
 for field in early_stop max_time incremental_index use_spatial_index soa_kernel \
              trace flush_every index_every extends; do
@@ -86,7 +102,8 @@ done
 # The run/ops determinism contracts live in the architecture doc.
 for phrase in shard-union resume fault-tolerance "streamed metrics" \
               "cached outcome ≡ recomputed outcome" \
-              "SoA snapshot ≡ scalar snapshot"; do
+              "SoA snapshot ≡ scalar snapshot" \
+              "byte-identical across any partition history"; do
   grep -qi "$phrase" docs/architecture.md ||
     complain "docs/architecture.md does not state the $phrase determinism contract"
 done
